@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table/figure bench consumes the same full-length Table 2 campaign
+(flown once per pytest session, ~10 s) plus the deterministic model
+series.  Each bench times the *regeneration* of its artifact from the
+campaign data and asserts the paper-shape invariants -- who wins, which
+direction trends point, rough factors -- not absolute equality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Campaign, CampaignAnalysis
+
+#: Root seed of the benchmark campaign (fixed: benches must be stable).
+BENCH_SEED = 2023
+
+#: Full-length sessions: Table 2's durations as flown.
+BENCH_TIME_SCALE = 1.0
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """The four Table 2 sessions at full length (flown once)."""
+    return Campaign(seed=BENCH_SEED, time_scale=BENCH_TIME_SCALE).run()
+
+
+@pytest.fixture(scope="session")
+def analysis(campaign):
+    """Analysis views over the benchmark campaign."""
+    return CampaignAnalysis(campaign)

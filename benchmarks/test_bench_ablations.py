@@ -1,0 +1,51 @@
+"""Benches: the five ablation studies of DESIGN.md's design choices."""
+
+from repro.experiments.ablations import (
+    run_checkpoint,
+    run_ecc,
+    run_interleave,
+    run_scrub,
+    run_slope,
+)
+
+
+def test_bench_ablation_interleave(benchmark):
+    result = benchmark.pedantic(
+        run_interleave, kwargs={"seed": 2023, "strikes": 20000},
+        iterations=1, rounds=1,
+    )
+    print("\n" + result.render())
+    outcomes = result.series["outcomes"]
+    assert outcomes[4]["uncorrected"] == 0
+    assert outcomes[1]["uncorrected"] > 100
+
+
+def test_bench_ablation_ecc(benchmark):
+    result = benchmark.pedantic(
+        run_ecc, kwargs={"seed": 2023, "strikes": 20000},
+        iterations=1, rounds=1,
+    )
+    print("\n" + result.render())
+    outcomes = result.series["outcomes"]
+    assert outcomes["SECDED"]["corrected"] > 10 * outcomes["SECDED"]["uncorrected"]
+    assert outcomes["parity"]["corrected"] == 0
+
+
+def test_bench_ablation_slope(benchmark):
+    result = benchmark(run_slope)
+    print("\n" + result.render())
+    for row in result.series["rates"].values():
+        assert row[0] < row[2]
+
+
+def test_bench_ablation_scrub(benchmark):
+    result = benchmark(run_scrub)
+    print("\n" + result.render())
+    curves = result.series["curves"]
+    assert curves[920][-1] > curves[950][-1]
+
+
+def test_bench_ablation_checkpoint(benchmark):
+    result = benchmark(run_checkpoint)
+    print("\n" + result.render())
+    assert all(net > 0 for net in result.series["net_savings"])

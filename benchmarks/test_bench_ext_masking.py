@@ -1,0 +1,23 @@
+"""Bench: the per-benchmark direct-injection masking study (extension)."""
+
+from repro.experiments.ext_masking import run
+
+
+def test_bench_ext_masking(benchmark):
+    result = benchmark.pedantic(
+        run,
+        kwargs={"seed": 2023, "injections": 60, "kernel_scale": 0.3},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + result.render())
+
+    # Shape checks on the AVF ordering the kernels' structure implies:
+    # IS (whole-array checksum) is the most fault-sensitive; MG (sparse
+    # sources in a sea of zeros) is the most masked.
+    series = result.series
+    assert series["IS"]["avf"] > series["MG"]["avf"]
+    assert series["MG"]["masked"] > 0.6
+    # Every benchmark masks something and exposes something across the
+    # suite as a whole.
+    assert 0.05 < series["suite_mean_masked"] < 0.95

@@ -1,0 +1,35 @@
+"""Bench: Fig. 10 -- power savings vs susceptibility increase (%)."""
+
+import pytest
+
+from repro.core.tradeoff import build_tradeoff_series
+
+PAPER_SAVINGS = [8.7, 11.0, 48.1]
+PAPER_SUSCEPTIBILITY = [6.9, 10.9, 16.8]
+
+
+def test_bench_fig10(benchmark):
+    series = benchmark(build_tradeoff_series)
+    undervolted = series.points[1:]
+
+    print("\nFig. 10: savings% / susceptibility% per setting")
+    for p in undervolted:
+        print(
+            f"  {p.point.label:>12}: savings {p.power_savings_pct:5.1f}%, "
+            f"susceptibility {p.susceptibility_increase_pct:5.1f}%"
+        )
+
+    for p, savings, susceptibility in zip(
+        undervolted, PAPER_SAVINGS, PAPER_SUSCEPTIBILITY
+    ):
+        assert p.power_savings_pct == pytest.approx(savings, abs=1.5)
+        assert p.susceptibility_increase_pct == pytest.approx(
+            susceptibility, abs=3.0
+        )
+
+    # Observation #7's two regimes: susceptibility keeps pace with or
+    # outruns savings at 2.4 GHz; the combined voltage+frequency cut at
+    # 900 MHz buys far more savings than susceptibility.
+    safe, vmin, low = undervolted
+    assert vmin.susceptibility_increase_pct > vmin.power_savings_pct * 0.8
+    assert low.power_savings_pct > 2 * low.susceptibility_increase_pct

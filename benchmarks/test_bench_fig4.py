@@ -1,0 +1,38 @@
+"""Bench: Fig. 4 -- pfail(V) characterization at both frequencies."""
+
+from repro.harness.vmin import characterize_all
+
+
+def test_bench_fig4(benchmark):
+    results = benchmark.pedantic(
+        characterize_all, kwargs={"seed": 2023, "runs_per_voltage": 300},
+        iterations=1, rounds=1,
+    )
+
+    for freq, result in sorted(results.items(), reverse=True):
+        ramp = {
+            v: round(p, 3)
+            for v, p in sorted(result.pfail_curve.items(), reverse=True)
+            if p > 0
+        }
+        print(f"\n{freq} MHz: safe Vmin {result.safe_vmin_mv} mV, ramp {ramp}")
+
+    # Paper: 920 mV @ 2.4 GHz, 790 mV @ 900 MHz.
+    assert results[2400].safe_vmin_mv == 920
+    assert results[900].safe_vmin_mv == 790
+
+    # pfail reaches 100% within ~20 mV (2.4 GHz) / ~10-15 mV (900 MHz);
+    # the sweep stops at the first fully-failing step, so check the
+    # bottom of each recorded curve.
+    curve_24 = results[2400].pfail_curve
+    bottom_24 = min(curve_24)
+    assert bottom_24 >= 895
+    assert curve_24[bottom_24] == 1.0
+    curve_09 = results[900].pfail_curve
+    bottom_09 = min(curve_09)
+    assert bottom_09 >= 770
+    assert curve_09[bottom_09] == 1.0
+
+    # The guardband at 900 MHz is much larger (lower frequency relaxes
+    # timing): 190 mV vs 60 mV.
+    assert results[900].guardband_mv() > results[2400].guardband_mv() + 100

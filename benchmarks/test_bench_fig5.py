@@ -1,0 +1,58 @@
+"""Bench: Fig. 5 -- per-benchmark upsets/minute at the 2.4 GHz voltages."""
+
+import pytest
+
+from repro.experiments.fig5 import DISPLAY_ORDER
+
+PAPER = {
+    "CG": [0.87, 0.84, 0.58],
+    "LU": [1.15, 1.09, 1.03],
+    "FT": [1.11, 1.21, 1.37],
+    "EP": [1.03, 1.22, 1.17],
+    "MG": [0.94, 1.02, 1.32],
+    "IS": [1.03, 1.11, 1.28],
+    "Total": [1.01, 1.08, 1.12],
+}
+
+
+def _collect(analysis, campaign):
+    labels = [
+        label
+        for label in campaign.labels()
+        if campaign.session(label).plan.point.freq_mhz == 2400
+    ]
+    rates = {}
+    for bench in DISPLAY_ORDER:
+        rates[bench] = [
+            analysis.benchmark_upset_rates(label)[bench].per_minute
+            for label in labels
+        ]
+    rates["Total"] = [
+        analysis.upset_rate(label).per_minute for label in labels
+    ]
+    return rates
+
+
+def test_bench_fig5(benchmark, analysis, campaign):
+    rates = benchmark(_collect, analysis, campaign)
+
+    print("\nFig. 5: upsets/min per benchmark (980/930/920 mV)")
+    for bench, row in rates.items():
+        print(f"  {bench:>6}: " + "  ".join(f"{r:.2f}" for r in row))
+
+    # Totals track the paper closely.
+    for ours, theirs in zip(rates["Total"], PAPER["Total"]):
+        assert ours == pytest.approx(theirs, rel=0.15)
+
+    # The benchmark ordering at nominal holds: CG and MG below average,
+    # LU and FT above (Fig. 5's left-most bars).
+    assert rates["CG"][0] < rates["Total"][0] < rates["LU"][0]
+    assert rates["MG"][0] < rates["FT"][0]
+
+    # MG shows the paper's headline climb toward Vmin (+40.4%); allow
+    # wide slack since per-benchmark counts are in the hundreds.
+    mg_increase = rates["MG"][2] / rates["MG"][0] - 1.0
+    assert 0.15 < mg_increase < 0.75
+
+    # CG's measured decrease (the paper's session-length artifact).
+    assert rates["CG"][2] < rates["CG"][0]

@@ -1,0 +1,45 @@
+"""Bench: Fig. 7 -- per-level upsets/minute at 790 mV / 900 MHz."""
+
+import pytest
+
+PAPER = {
+    ("TLBs", "CE"): 0.03,
+    ("L1 Cache", "CE"): 0.07,
+    ("L2 Cache", "CE"): 0.29,
+    ("L3 Cache", "CE"): 0.83,
+    ("L3 Cache", "UE"): 0.04,
+}
+
+
+def _collect(analysis, campaign):
+    label = next(
+        label
+        for label in campaign.labels()
+        if campaign.session(label).plan.point.freq_mhz == 900
+    )
+    rates = analysis.level_upset_rates(label)
+    return {key: rates.get(f"{key[0]}/{key[1]}", 0.0) for key in PAPER}
+
+
+def test_bench_fig7(benchmark, analysis, campaign):
+    rates = benchmark(_collect, analysis, campaign)
+    print("\nFig. 7: upsets/min per level at 790 mV @ 900 MHz")
+    for key, rate in rates.items():
+        print(f"  {key[0]:>9}/{key[1]}: {rate:.3f}")
+
+    # Deep PMD undervolt: L1 and L2 rates well above their 920 mV
+    # values (paper: 2.7x and +50% respectively).
+    assert rates[("L1 Cache", "CE")] > 0.04
+    assert rates[("L2 Cache", "CE")] == pytest.approx(0.29, rel=0.35)
+
+    # The L3 (SoC domain at nominal) does NOT rise above its Fig. 6
+    # ceiling -- the voltage-domain split of Section 4.3.
+    assert rates[("L3 Cache", "CE")] < 0.95
+
+    # Ordering still holds.
+    assert (
+        rates[("TLBs", "CE")]
+        < rates[("L1 Cache", "CE")]
+        < rates[("L2 Cache", "CE")]
+        < rates[("L3 Cache", "CE")]
+    )

@@ -1,0 +1,53 @@
+"""Bench: Fig. 8 -- failure-category percentages per voltage (2.4 GHz)."""
+
+import pytest
+
+from repro.injection.events import OutcomeKind
+
+PAPER = {
+    980: {"AppCrash": 17.9, "SysCrash": 51.6, "SDC": 30.5},
+    930: {"AppCrash": 7.2, "SysCrash": 37.1, "SDC": 55.7},
+    920: {"AppCrash": 2.1, "SysCrash": 5.7, "SDC": 92.2},
+}
+
+
+def _collect(analysis, campaign):
+    mixes = {}
+    for label in campaign.labels():
+        point = campaign.session(label).plan.point
+        if point.freq_mhz != 2400:
+            continue
+        mix = analysis.failure_mix(label)
+        mixes[point.pmd_mv] = {k.value: v for k, v in mix.items()}
+    return mixes
+
+
+def test_bench_fig8(benchmark, analysis, campaign):
+    mixes = benchmark(_collect, analysis, campaign)
+
+    print("\nFig. 8: failure mix per voltage (%)")
+    for mv, mix in sorted(mixes.items(), reverse=True):
+        print(
+            f"  {mv} mV: "
+            + ", ".join(f"{k} {v:5.1f}%" for k, v in mix.items())
+        )
+
+    # SDC share rises monotonically as voltage drops; crash shares fall.
+    assert mixes[980]["SDC"] < mixes[930]["SDC"] < mixes[920]["SDC"]
+    assert mixes[920]["SysCrash"] < mixes[980]["SysCrash"]
+    assert mixes[920]["AppCrash"] < mixes[980]["AppCrash"]
+
+    # At Vmin, SDCs dominate overwhelmingly (paper: 92.2%).
+    assert mixes[920]["SDC"] > 80.0
+
+    # At nominal, crashes together dominate (paper: 69.5%).
+    assert mixes[980]["AppCrash"] + mixes[980]["SysCrash"] > 55.0
+
+    # Observation #4: the SDC share at Vmin is ~3x the nominal share.
+    ratio = mixes[920]["SDC"] / mixes[980]["SDC"]
+    assert 2.0 < ratio < 4.5
+
+    # Each panel is within sampling distance of the paper's percentages.
+    for mv, mix in mixes.items():
+        for category, pct in mix.items():
+            assert pct == pytest.approx(PAPER[mv][category], abs=12.0)

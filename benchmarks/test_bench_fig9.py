@@ -1,0 +1,39 @@
+"""Bench: Fig. 9 -- power vs upsets/minute over the four settings."""
+
+import pytest
+
+from repro.core.tradeoff import build_tradeoff_series
+
+PAPER_POWER = [20.40, 18.63, 18.15, 10.59]
+PAPER_RATES = [1.01, 1.08, 1.12, 1.18]
+
+
+def test_bench_fig9(benchmark, analysis, campaign):
+    series = benchmark(build_tradeoff_series)
+
+    print("\nFig. 9: power (W) and upsets/min per setting")
+    for p in series.points:
+        print(
+            f"  {p.point.label:>12}: {p.power_watts:6.2f} W, "
+            f"{p.upsets_per_min:.3f} upsets/min"
+        )
+
+    # Model series tracks the paper's bars and line.
+    for point, watts, rate in zip(series.points, PAPER_POWER, PAPER_RATES):
+        assert point.power_watts == pytest.approx(watts, abs=0.15)
+        assert point.upsets_per_min == pytest.approx(rate, abs=0.04)
+
+    # The measured campaign rates agree with the model line (statistical
+    # consistency of the Monte-Carlo sessions with the deterministic
+    # figure).
+    measured = [
+        analysis.upset_rate(label).per_minute for label in campaign.labels()
+    ]
+    for ours, model_point in zip(measured, series.points):
+        assert ours == pytest.approx(model_point.upsets_per_min, rel=0.15)
+
+    # Observation #5: power strictly falls, susceptibility strictly rises.
+    watts = [p.power_watts for p in series.points]
+    rates = [p.upsets_per_min for p in series.points]
+    assert watts == sorted(watts, reverse=True)
+    assert rates == sorted(rates)

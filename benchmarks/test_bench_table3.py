@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 3 (the experiment's operating points)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table3(benchmark):
+    result = benchmark(run_experiment, "table3")
+    print("\n" + result.render())
+
+    assert result.series["points"] == [
+        ("Nominal", 2400, 980, 950),
+        ("Safe", 2400, 930, 925),
+        ("Vmin", 2400, 920, 920),
+        ("Vmin@900MHz", 900, 790, 950),
+    ]

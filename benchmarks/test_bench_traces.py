@@ -1,0 +1,44 @@
+"""Bench: cache-hierarchy replay of the six benchmark personalities.
+
+Not a paper figure -- this benches the extension substrate that
+*derives* the occupancy/recurrence numbers the calibration profiles
+assert, and checks the derived ordering agrees with the profiles.
+"""
+
+import numpy as np
+
+from repro.workloads.profiles import PROFILES
+from repro.workloads.traces import TRACE_PERSONALITIES, measure_personality
+
+
+def _measure_all():
+    rng = np.random.default_rng(2023)
+    return {
+        bench: measure_personality(bench, rng, accesses=40_000)
+        for bench in sorted(TRACE_PERSONALITIES)
+    }
+
+
+def test_bench_trace_personalities(benchmark):
+    reports = benchmark.pedantic(_measure_all, iterations=1, rounds=1)
+
+    print("\nCache-measured personalities (occupancy / reuse, L3):")
+    for bench, report in reports.items():
+        print(
+            f"  {bench}: occ l1d {report.occupancy['l1d']:.2f} "
+            f"l2 {report.occupancy['l2']:.2f} l3 {report.occupancy['l3']:.2f}; "
+            f"l3 reuse {report.reuse_probability['l3']:.2f}"
+        )
+
+    # The calibrated profiles and the simulator agree on who fills the
+    # L3 most (FT) and least (EP)...
+    occ = {b: r.occupancy["l3"] for b, r in reports.items()}
+    assert occ["FT"] > occ["EP"]
+    assert max(occ, key=occ.get) != "EP"
+    profile_occ = {b: PROFILES[b].occupancy["L3 Cache"] for b in reports}
+    assert (profile_occ["FT"] > profile_occ["EP"]) == (occ["FT"] > occ["EP"])
+
+    # ...and every level's occupancy is a valid fraction.
+    for report in reports.values():
+        for level_occ in report.occupancy.values():
+            assert 0.0 <= level_occ <= 1.0

@@ -1,0 +1,78 @@
+"""Fleet planning: translate FIT rates into expected failures at scale.
+
+A cloud operator running tens of thousands of servers cares about FIT
+arithmetic, not beam physics: given the per-chip FIT rates measured at
+each voltage setting, how many SDCs and crashes per year should a fleet
+expect, and what does undervolting *really* cost in reliability against
+what it saves in energy?
+
+Uses the paper's own Fig. 11 pipeline (events + fluence -> DCS -> FIT)
+from a freshly simulated campaign, then scales to fleet size.
+
+Run with::
+
+    python examples/fleet_planning.py [fleet_size]
+"""
+
+import sys
+
+from repro import Campaign, CampaignAnalysis, OutcomeKind, PowerModel
+from repro.constants import HOURS_PER_YEAR
+from repro.core.fit import mttf_hours
+
+FLEET_DEFAULT = 50_000
+
+
+def failures_per_year(fit: float, fleet: int) -> float:
+    """Expected failures per calendar year across *fleet* chips."""
+    return fit * fleet * HOURS_PER_YEAR / 1.0e9
+
+
+def main(fleet: int = FLEET_DEFAULT) -> None:
+    print(f"Simulating the beam campaign, then planning a {fleet:,}-chip fleet\n")
+    campaign = Campaign(seed=11, time_scale=0.2).run()
+    analysis = CampaignAnalysis(campaign)
+    power_model = PowerModel.calibrated()
+
+    sessions = [
+        label
+        for label in campaign.labels()
+        if campaign.session(label).plan.point.freq_mhz == 2400
+    ]
+    nominal_label = sessions[0]
+    nominal_point = campaign.session(nominal_label).plan.point
+    nominal_watts = power_model.total_watts(
+        nominal_point.pmd_mv, nominal_point.soc_mv, nominal_point.freq_mhz
+    )
+
+    print(
+        f"{'setting':>10} {'SDC FIT':>9} {'total FIT':>10} "
+        f"{'SDCs/yr (fleet)':>16} {'MTTF/chip':>12} {'MW saved':>9}"
+    )
+    for label in sessions:
+        point = campaign.session(label).plan.point
+        sdc_fit = analysis.category_fit(label, OutcomeKind.SDC).fit
+        total_fit = analysis.total_fit(label).fit
+        watts = power_model.total_watts(
+            point.pmd_mv, point.soc_mv, point.freq_mhz
+        )
+        saved_mw = (nominal_watts - watts) * fleet / 1.0e6
+        mttf_years = (
+            mttf_hours(total_fit) / HOURS_PER_YEAR if total_fit > 0 else float("inf")
+        )
+        print(
+            f"{point.pmd_mv:>8}mV {sdc_fit:9.2f} {total_fit:10.2f} "
+            f"{failures_per_year(sdc_fit, fleet):16.1f} "
+            f"{mttf_years:10.0f}yr {saved_mw:8.2f}MW"
+        )
+
+    print(
+        "\nReading: at Vmin the fleet's yearly SDC count grows by an order "
+        "of magnitude while the extra megawatts saved over the 'Safe' "
+        "setting are marginal -- the quantitative version of design "
+        "implication #2."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else FLEET_DEFAULT)

@@ -1,0 +1,72 @@
+"""Microarchitectural fault-injection study (design implication #3).
+
+The paper tells fault-injection researchers to combine its measured
+voltage susceptibility multipliers with structure AVFs and raw
+technology FIT to estimate application FIT at scaled voltages.  This
+example runs that pipeline end to end:
+
+1. size the statistical campaign (Leveugle's formula),
+2. inject into each core structure and measure its AVF,
+3. fold in the library's calibrated voltage multipliers,
+4. report per-structure and chip SDC FIT across the studied voltages.
+
+Run with::
+
+    python examples/microarch_fi_study.py
+"""
+
+import numpy as np
+
+from repro.injection.calibration import LevelRateModel
+from repro.injection.events import OutcomeKind
+from repro.injection.microarch import (
+    MicroarchInjector,
+    required_injections,
+)
+from repro.soc.geometry import CacheLevel
+
+
+def main() -> None:
+    injector = MicroarchInjector()
+    rng = np.random.default_rng(41)
+
+    n = required_injections(injector.total_bits, margin=0.02)
+    print(
+        f"statistical campaign size for 2% margin at 95% confidence: "
+        f"{n} injections per structure\n"
+    )
+
+    print(f"{'structure':>13} {'bits/core':>10} {'measured AVF':>13} {'SDC share':>10}")
+    for structure in injector.structures:
+        result = injector.run_campaign(structure.name, n, rng)
+        sdc_share = result.fraction(OutcomeKind.SDC)
+        print(
+            f"{structure.name:>13} {structure.bits:>10} "
+            f"{result.measured_avf:>12.3f} {sdc_share:>9.3f}"
+        )
+
+    print("\nSDC FIT at the studied voltages (core logic, x8 cores):")
+    # The L2's PMD-domain multipliers stand in for core-logic
+    # susceptibility (same domain, same undervolt).
+    rates = LevelRateModel()
+    base = rates.rate_per_min(CacheLevel.L2, True, 980, 950)
+    multipliers = {
+        mv: rates.rate_per_min(CacheLevel.L2, True, mv, 950) / base
+        for mv in (980, 930, 920, 790)
+    }
+    fits = injector.sdc_fit_by_voltage(multipliers)
+    for mv, fit in sorted(fits.items(), reverse=True):
+        print(
+            f"  {mv} mV: multiplier x{multipliers[mv]:4.2f} -> "
+            f"core-logic SDC FIT {fit:6.2f}"
+        )
+    print(
+        "\nReading: the unprotected core structures alone produce "
+        "SDC FIT of the\nsame order as the paper's nominal-voltage "
+        "measurement (2.54) -- consistent\nwith design implication #4: "
+        "SDCs come from core logic, not the ECC-guarded SRAM."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: fly a scaled beam campaign and regenerate the headline results.
+
+Runs the paper's four Table 2 sessions (at 10 % of their beam time so
+this finishes in a couple of seconds), then prints the regenerated
+Table 2, the failure mix per voltage (Fig. 8), and the headline FIT
+multipliers.
+
+Run with::
+
+    python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro import Campaign, CampaignAnalysis, OutcomeKind
+
+
+def main(seed: int = 2023) -> None:
+    print("Flying the Table 2 campaign at 10% beam time...\n")
+    campaign = Campaign(seed=seed, time_scale=0.1).run()
+    analysis = CampaignAnalysis(campaign)
+
+    print(analysis.table2().render())
+
+    print("\nFailure mix per session (Fig. 8 view):")
+    for label in campaign.labels():
+        session = campaign.session(label)
+        if session.failure_count == 0:
+            print(f"  {label}: no failures observed (short session)")
+            continue
+        mix = analysis.failure_mix(label)
+        pieces = ", ".join(
+            f"{kind.value} {pct:5.1f}%" for kind, pct in mix.items()
+        )
+        print(
+            f"  {label} ({session.plan.point.pmd_mv} mV "
+            f"@ {session.plan.point.freq_mhz} MHz): {pieces}"
+        )
+
+    nominal, vmin = "session1", "session3"
+    print("\nHeadline numbers (paper: SDC x16.3, total x6.6 at Vmin):")
+    print(
+        f"  SDC FIT increase at Vmin:   "
+        f"x{analysis.sdc_fit_increase(vmin, nominal):.1f}"
+    )
+    print(
+        f"  Total FIT increase at Vmin: "
+        f"x{analysis.total_fit_increase(vmin, nominal):.1f}"
+    )
+    sdc_fit = analysis.category_fit(vmin, OutcomeKind.SDC)
+    print(
+        f"  SDC FIT at Vmin: {sdc_fit.fit:.1f} "
+        f"[{sdc_fit.interval.lower:.1f}, {sdc_fit.interval.upper:.1f}] "
+        f"(95% CI)"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2023)

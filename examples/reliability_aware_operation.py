@@ -1,0 +1,100 @@
+"""The operator's playbook: characterize, budget, select, verify.
+
+Chains the library's decision tools into the workflow a datacenter
+reliability team would actually run:
+
+1. *characterize* the safe Vmin quickly with the micro-virus battery
+   (conservative) and thoroughly with the benchmark sweep;
+2. *population-correct* the setting for a fleet of non-identical chips;
+3. *select* an operating point under an SDC FIT budget
+   (design implication #2 as an optimizer);
+4. *verify* that checkpoint/restart overhead does not eat the savings
+   (the introduction's open question), across radiation environments.
+
+Run with::
+
+    python examples/reliability_aware_operation.py
+"""
+
+import numpy as np
+
+from repro.core.energy import (
+    EnergyModel,
+    OperatingPointSelector,
+    candidates_from_paper_fit,
+)
+from repro.core.guardband import VminPopulation, per_chip_advantage_mv
+from repro.harness.availability import CheckpointModel, undervolting_verdict
+from repro.harness.vmin import PFAIL_MODELS, VminCharacterizer
+from repro.harness.viruses import (
+    battery_safe_vmin_mv,
+    characterize_with_viruses,
+)
+from repro.soc.power import PowerModel
+
+
+def main() -> None:
+    print("=== 1. Characterize: viruses (fast) vs benchmarks (thorough) ===\n")
+    model = PFAIL_MODELS[2400]
+    virus_results = characterize_with_viruses(model, runs_per_voltage=60)
+    for name, result in virus_results.items():
+        print(f"  {name:>12}: safe Vmin {result.safe_vmin_mv} mV")
+    virus_vmin = battery_safe_vmin_mv(virus_results)
+    bench_vmin = VminCharacterizer(model, 300).characterize(seed=4).safe_vmin_mv
+    print(f"\n  virus battery Vmin: {virus_vmin} mV (seconds of runtime)")
+    print(f"  benchmark-sweep Vmin: {bench_vmin} mV (hours of runtime)")
+    print("  -> viruses trade a few mV of margin for ~100x less test time")
+
+    print("\n=== 2. One chip is not the fleet ===\n")
+    population = VminPopulation(mean_mv=917.0, sigma_mv=12.0)
+    fleet_voltage = population.fleet_safe_voltage_mv(violation_target=1e-4)
+    advantage = per_chip_advantage_mv(population)
+    rng = np.random.default_rng(2)
+    fleet_frac = population.guardband_recovered_fleetwide(1e-4)
+    chip_frac = population.guardband_recovered_per_chip(20_000, rng)
+    print(f"  fleet-wide safe setting: {fleet_voltage} mV "
+          f"(recovers {100*fleet_frac:.0f}% of the guardband)")
+    print(f"  per-chip characterization recovers {100*chip_frac:.0f}%, "
+          f"i.e. ~{advantage:.0f} mV more undervolt on the average chip")
+
+    print("\n=== 3. Select an operating point under an SDC budget ===\n")
+    selector = OperatingPointSelector(
+        EnergyModel(power_model=PowerModel.calibrated())
+    )
+    for budget in (3.0, 10.0, 50.0):
+        choice = selector.select(
+            candidates_from_paper_fit(),
+            sdc_fit_budget=budget,
+            preserve_performance=True,
+        )
+        print(
+            f"  SDC budget {budget:5.1f} FIT -> {choice.point.label:>8} "
+            f"({choice.point.pmd_mv} mV; SDC FIT {choice.sdc_fit})"
+        )
+
+    print("\n=== 4. Does recovery overhead eat the savings? ===\n")
+    checkpointing = CheckpointModel(checkpoint_cost_s=30.0, restart_cost_s=120.0)
+    for env, label in ((1.0, "NYC ground"), (300.0, "flight altitude"),
+                       (1e7, "near-beam")):
+        verdict = undervolting_verdict(
+            nominal_power_w=20.40,
+            nominal_crash_fit=1.49 + 4.29,
+            undervolted_power_w=18.15,
+            undervolted_crash_fit=0.96 + 2.55,
+            checkpointing=checkpointing,
+            environment_factor=env,
+        )
+        print(
+            f"  {label:>15}: raw {100*verdict.raw_savings_fraction:.1f}% -> "
+            f"net {100*verdict.net_savings_fraction:.1f}% "
+            f"({'pays off' if verdict.pays_off else 'DOES NOT pay off'})"
+        )
+    print(
+        "\n  With this chip's measured crash rates (which FALL with "
+        "undervolt\n  at fixed clock), undervolting keeps paying in every "
+        "environment."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""What to do about the 16x SDC FIT: evaluate the countermeasures.
+
+The paper ends with the problem (SDC FIT explodes at Vmin, and the
+culprits are unprotected core paths); this example evaluates the
+standard answers with the library's own fault injector:
+
+1. **ABFT** -- checksum-carrying matrix kernels: measured coverage vs
+   its O(1/n) overhead;
+2. **DMR/TMR** -- redundant execution: perfect detection/correction at
+   100/200 % overhead (which dwarfs undervolting's ~11 % savings);
+3. **selective hardening** -- protect the worst core structures under
+   a budget, priced at nominal voltage and at deep undervolt.
+
+Run with::
+
+    python examples/sdc_protection_study.py
+"""
+
+import numpy as np
+
+from repro.injection.calibration import LevelRateModel
+from repro.injection.microarch import MicroarchInjector
+from repro.resilience.abft import overhead_fraction
+from repro.resilience.evaluation import (
+    abft_matvec_trial,
+    measure_detector_coverage,
+)
+from repro.resilience.redundancy import (
+    dmr_run,
+    redundancy_energy_overhead,
+    tmr_run,
+)
+from repro.resilience.selective import (
+    options_from_microarch,
+    select_hardening,
+)
+from repro.soc.geometry import CacheLevel
+from repro.workloads.suite import make_workload
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+
+    print("=== 1. ABFT: cheap detection for the numeric kernels ===\n")
+    trial = abft_matvec_trial(n=96, seed=1)
+    report = measure_detector_coverage(trial, 400, rng)
+    print(
+        f"  coverage of effective faults: {100 * report.coverage:.1f}% "
+        f"({report.detected}/{report.effective_faults})"
+    )
+    print(
+        f"  arithmetic overhead at n=96: "
+        f"{100 * overhead_fraction(96):.2f}% (vs 100% for DMR)"
+    )
+
+    print("\n=== 2. Redundant execution on a real kernel ===\n")
+    workload = make_workload("EP", scale=0.2)
+
+    def corrupt_one(state, replica):
+        if replica == 1:
+            name = max(state, key=lambda k: state[k].nbytes)
+            arr = np.ascontiguousarray(state[name])
+            state[name] = arr
+            arr.reshape(-1)[: arr.size // 8] *= 0.5
+
+    dmr = dmr_run(workload, fault_hook=corrupt_one)
+    tmr = tmr_run(workload, fault_hook=corrupt_one)
+    print(f"  DMR detected the faulty replica: {dmr.detected} "
+          f"(overhead {100 * redundancy_energy_overhead(2):.0f}%)")
+    print(f"  TMR corrected it: {tmr.corrected} "
+          f"(overhead {100 * redundancy_energy_overhead(3):.0f}%)")
+    print("  -> full redundancy costs ~10x what undervolting saves")
+
+    print("\n=== 3. Selective hardening of the core structures ===\n")
+    injector = MicroarchInjector()
+    rates = LevelRateModel()
+    base = rates.rate_per_min(CacheLevel.L2, True, 980, 950)
+    for pmd_mv in (980, 790):
+        multiplier = (
+            rates.rate_per_min(CacheLevel.L2, True, pmd_mv, 950) / base
+        )
+        options = options_from_microarch(
+            injector, susceptibility_multiplier=multiplier
+        )
+        budget = sum(o.cost for o in options) * 0.4
+        choice = select_hardening(options, budget)
+        picks = ", ".join(o.structure for o in choice.selected)
+        print(
+            f"  @ {pmd_mv} mV (x{multiplier:.2f}): protect [{picks}] "
+            f"-> removes {100 * choice.reduction_fraction:.0f}% of core "
+            f"SDC FIT at 40% of full-protection cost"
+        )
+
+
+if __name__ == "__main__":
+    main()

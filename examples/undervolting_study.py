@@ -1,0 +1,75 @@
+"""Undervolting study: find the safe Vmin, then weigh power vs reliability.
+
+Reproduces the paper's decision pipeline for a datacenter operator:
+
+1. characterize pfail(V) at both frequencies (Fig. 4) to find the safe
+   Vmin and the exploitable guardband;
+2. build the power-vs-susceptibility trade-off (Figs. 9-10);
+3. apply design implication #2 -- operate slightly *above* Vmin (930 mV
+   rather than 920 mV) because the last 10 mV buys ~2 % power for a
+   disproportionate SDC-rate explosion.
+
+Run with::
+
+    python examples/undervolting_study.py
+"""
+
+from repro import build_tradeoff_series
+from repro.harness.vmin import PFAIL_MODELS, VminCharacterizer
+
+
+def main() -> None:
+    print("=== Step 1: offline Vmin characterization (Fig. 4) ===\n")
+    vmin = {}
+    for freq, model in sorted(PFAIL_MODELS.items(), reverse=True):
+        result = VminCharacterizer(model, runs_per_voltage=300).characterize(
+            seed=7
+        )
+        vmin[freq] = result.safe_vmin_mv
+        print(
+            f"{freq} MHz: safe Vmin = {result.safe_vmin_mv} mV "
+            f"(guardband {result.guardband_mv()} mV below nominal)"
+        )
+        ramp = {
+            v: p for v, p in sorted(result.pfail_curve.items(), reverse=True)
+            if p > 0
+        }
+        shown = ", ".join(f"{v} mV: {100*p:.0f}%" for v, p in ramp.items())
+        print(f"  failure ramp: {shown}")
+
+    print("\n=== Step 2: power vs susceptibility (Figs. 9-10) ===\n")
+    series = build_tradeoff_series()
+    header = f"{'setting':>22} {'power':>8} {'upsets/min':>11} {'savings':>8} {'susc.':>7}"
+    print(header)
+    for p in series.points:
+        print(
+            f"{p.point.label:>22} {p.power_watts:7.2f}W "
+            f"{p.upsets_per_min:11.3f} {p.power_savings_pct:7.1f}% "
+            f"{p.susceptibility_increase_pct:6.1f}%"
+        )
+
+    print("\n=== Step 3: the operator's decision (design implication #2) ===\n")
+    safe = series.by_label("Safe")
+    vmin_pt = series.by_label("Vmin")
+    extra_savings = vmin_pt.power_savings_pct - safe.power_savings_pct
+    extra_susc = (
+        vmin_pt.susceptibility_increase_pct
+        - safe.susceptibility_increase_pct
+    )
+    print(
+        f"Dropping the last 10 mV (930 -> 920 mV) buys only "
+        f"{extra_savings:.1f}% more power savings"
+    )
+    print(
+        f"but raises cache susceptibility a further {extra_susc:.1f}% -- "
+        "and (per Fig. 11) multiplies the SDC FIT by ~8x."
+    )
+    print(
+        "\nRecommendation: operate at 930 mV (slightly above the safe "
+        f"Vmin of {vmin[2400]} mV), keeping most of the savings with "
+        "near-nominal dependability."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+The environment has no `wheel` package and no network access, so PEP 660
+editable installs (`pip install -e .`) fall back to this legacy path:
+`python setup.py develop` works offline with plain setuptools.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""repro: voltage-scaled soft-error susceptibility of a multicore server CPU.
+
+A full reproduction of *"Impact of Voltage Scaling on Soft Errors
+Susceptibility of Multicore Server CPUs"* (MICRO 2023) as a Python
+library.  The irradiated hardware is replaced by calibrated simulation
+substrates (see DESIGN.md); the analysis pipeline, experiment harness
+and every table/figure generator are faithful to the paper.
+
+Quickstart::
+
+    from repro import Campaign, CampaignAnalysis
+
+    campaign = Campaign(seed=2023, time_scale=0.05).run()
+    analysis = CampaignAnalysis(campaign)
+    print(analysis.table2().render())
+
+Subpackages
+-----------
+``repro.core``
+    Cross-section / FIT / SER analysis with confidence intervals and
+    the power-vs-susceptibility trade-off analytics.
+``repro.soc``
+    The X-Gene 2 chip model: caches, TLBs, voltage domains, DVFS,
+    EDAC, power, SLIMpro.
+``repro.sram``
+    SRAM soft-error physics: Qcrit, cross-sections, MBUs, parity and
+    SECDED codecs, process variation.
+``repro.beam``
+    The TRIUMF TNF neutron beam: flux, spectrum, positioning,
+    dosimetry, fluence.
+``repro.workloads``
+    Six NPB-style kernels with golden-output verification.
+``repro.injection``
+    Beam-driven Monte-Carlo injection, outcome propagation, AVF tools,
+    and concrete bit-flip injection into live kernels.
+``repro.harness``
+    Vmin characterization, the Control-PC, beam sessions, campaigns.
+``repro.experiments``
+    One driver per paper table and figure.
+"""
+
+from .constants import NYC_FLUX_PER_CM2_HOUR, TNF_HALO_FLUX_PER_CM2_S
+from .core import (
+    CampaignAnalysis,
+    FitEstimate,
+    Table,
+    TradeoffSeries,
+    build_tradeoff_series,
+    dynamic_cross_section,
+    fit_rate,
+    ser_fit_per_mbit,
+)
+from .harness import (
+    BeamSession,
+    Campaign,
+    CampaignResult,
+    SessionPlan,
+    SessionResult,
+    TABLE2_SESSION_PLANS,
+    VminCharacterizer,
+)
+from .injection import BeamInjector, DirectInjector, OutcomeKind, OutcomeModel
+from .rng import RngStreams
+from .soc import OperatingPoint, PowerModel, XGene2
+from .workloads import SUITE_NAMES, make_suite, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NYC_FLUX_PER_CM2_HOUR",
+    "TNF_HALO_FLUX_PER_CM2_S",
+    "CampaignAnalysis",
+    "FitEstimate",
+    "Table",
+    "TradeoffSeries",
+    "build_tradeoff_series",
+    "dynamic_cross_section",
+    "fit_rate",
+    "ser_fit_per_mbit",
+    "BeamSession",
+    "Campaign",
+    "CampaignResult",
+    "SessionPlan",
+    "SessionResult",
+    "TABLE2_SESSION_PLANS",
+    "VminCharacterizer",
+    "BeamInjector",
+    "DirectInjector",
+    "OutcomeKind",
+    "OutcomeModel",
+    "RngStreams",
+    "OperatingPoint",
+    "PowerModel",
+    "XGene2",
+    "SUITE_NAMES",
+    "make_suite",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,132 @@
+"""The TNF beam: proton current, neutron flux, and the beam envelope.
+
+Under typical conditions a 100 uA proton current on the neutron
+production target yields 2-3 x 10^6 n/cm^2/s (E > 10 MeV) at the test
+position, and the flux cannot be reduced below that due to operational
+constraints -- which is exactly why the DUT had to move to the halo
+(Section 3.4).  The absolute flux carries ~20 % uncertainty from the
+yearly activation-foil calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    TNF_ABSOLUTE_FLUX_UNCERTAINTY,
+    TNF_BEAM_SPOT_CM,
+    TNF_FLUX_MAX_PER_CM2_S,
+    TNF_FLUX_MIN_PER_CM2_S,
+)
+from ..errors import BeamError
+from .positioning import BeamPosition, PositioningModel
+from .spectrum import NeutronSpectrum
+
+
+@dataclass(frozen=True)
+class BeamState:
+    """One operational configuration of the beam + DUT placement.
+
+    Attributes
+    ----------
+    flux_center_per_cm2_s:
+        Flux (E > 10 MeV) at the beam-center test position.
+    position:
+        Where the DUT sits.
+    attenuation:
+        Flux fraction at the DUT for this placement.
+    """
+
+    flux_center_per_cm2_s: float
+    position: BeamPosition
+    attenuation: float
+
+    @property
+    def flux_at_dut_per_cm2_s(self) -> float:
+        """Flux (E > 10 MeV) actually seen by the DUT."""
+        return self.flux_center_per_cm2_s * self.attenuation
+
+
+class TnfBeam:
+    """The TNF neutron beam and its operational envelope.
+
+    Parameters
+    ----------
+    nominal_current_ua:
+        Proton current on the production target, microamps.  Flux
+        scales linearly with current around the 100 uA reference.
+    spectrum:
+        Beam energy spectrum model.
+    positioning:
+        DUT placement model.
+    """
+
+    REFERENCE_CURRENT_UA = 100.0
+
+    def __init__(
+        self,
+        nominal_current_ua: float = 100.0,
+        spectrum: NeutronSpectrum = None,
+        positioning: PositioningModel = None,
+    ) -> None:
+        if nominal_current_ua <= 0:
+            raise BeamError("proton current must be positive")
+        self.current_ua = float(nominal_current_ua)
+        self.spectrum = spectrum or NeutronSpectrum()
+        self.positioning = positioning or PositioningModel()
+        self.beam_spot_cm = TNF_BEAM_SPOT_CM
+
+    def center_flux_range(self) -> "tuple[float, float]":
+        """Flux range at the center for the present current (n/cm^2/s)."""
+        scale = self.current_ua / self.REFERENCE_CURRENT_UA
+        return (
+            TNF_FLUX_MIN_PER_CM2_S * scale,
+            TNF_FLUX_MAX_PER_CM2_S * scale,
+        )
+
+    def mean_center_flux(self) -> float:
+        """Midpoint of the flux range -- the paper's (2+3)/2 convention."""
+        lo, hi = self.center_flux_range()
+        return 0.5 * (lo + hi)
+
+    def sample_center_flux(self, rng: np.random.Generator) -> float:
+        """One realization of the absolute center flux.
+
+        Uniform within the operational range, then perturbed by the
+        ~20 % absolute-calibration uncertainty of the activation-foil
+        method.
+        """
+        lo, hi = self.center_flux_range()
+        flux = rng.uniform(lo, hi)
+        flux *= max(rng.normal(1.0, TNF_ABSOLUTE_FLUX_UNCERTAINTY), 0.05)
+        return float(flux)
+
+    def place_dut(
+        self,
+        position: BeamPosition,
+        rng: np.random.Generator = None,
+        *,
+        mean_values: bool = True,
+    ) -> BeamState:
+        """Insert the DUT at a position and return the beam state.
+
+        With ``mean_values=True`` (default) the deterministic mean flux
+        and attenuation are used -- the mode the reproduction benches
+        run in.  With ``mean_values=False`` a random realization of
+        flux and placement is drawn (requires *rng*).
+        """
+        if mean_values:
+            return BeamState(
+                flux_center_per_cm2_s=self.mean_center_flux(),
+                position=position,
+                attenuation=self.positioning.attenuation(position),
+            )
+        if rng is None:
+            raise BeamError("random placement requires an RNG")
+        return BeamState(
+            flux_center_per_cm2_s=self.sample_center_flux(rng),
+            position=position,
+            attenuation=self.positioning.sample_attenuation(position, rng),
+        )

@@ -1,0 +1,144 @@
+"""Beam-time planning: how many hours buy how much statistics.
+
+Beam time is reserved months ahead and billed by the hour; session 4
+ran only 165 minutes because the reservation ran out (Section 3.5).
+This planner answers the questions the authors had to answer before
+flying: how long until the fluence-significance threshold, how long
+until N expected events, and what relative precision a session of a
+given length will deliver on each event class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from scipy import stats
+
+from ..constants import (
+    CONFIDENCE_LEVEL,
+    SIGNIFICANT_EVENTS,
+    SIGNIFICANT_FLUENCE,
+    TNF_HALO_FLUX_PER_CM2_S,
+)
+from ..errors import BeamError
+
+
+@dataclass(frozen=True)
+class BeamTimePlan:
+    """Planning summary for one prospective session.
+
+    Attributes
+    ----------
+    hours:
+        Planned beam-on time.
+    fluence_per_cm2:
+        Fluence the session will accumulate.
+    expected_events:
+        Expected event count per class, by name.
+    relative_precision:
+        Expected half-width of the 95 % CI relative to the rate, per
+        class (~z/sqrt(N) for Poisson counts).
+    """
+
+    hours: float
+    fluence_per_cm2: float
+    expected_events: Dict[str, float]
+    relative_precision: Dict[str, float]
+
+    @property
+    def reaches_fluence_significance(self) -> bool:
+        """Does the session clear the ESCC-25100 fluence threshold?"""
+        return self.fluence_per_cm2 >= SIGNIFICANT_FLUENCE
+
+    def reaches_event_significance(self, event_class: str) -> bool:
+        """Does the class expect >= 100 events (the Schwank rule)?"""
+        if event_class not in self.expected_events:
+            raise BeamError(f"unknown event class {event_class!r}")
+        return self.expected_events[event_class] >= SIGNIFICANT_EVENTS
+
+
+class BeamTimePlanner:
+    """Plans session lengths for target statistics.
+
+    Parameters
+    ----------
+    flux_per_cm2_s:
+        Beam flux at the DUT (halo flux by default).
+    rates_per_min:
+        Expected event rates per class (e.g. from the calibrated
+        models, or from a pilot run).
+    """
+
+    def __init__(
+        self,
+        flux_per_cm2_s: float = TNF_HALO_FLUX_PER_CM2_S,
+        rates_per_min: Dict[str, float] = None,
+    ) -> None:
+        if flux_per_cm2_s <= 0:
+            raise BeamError("flux must be positive")
+        self.flux = flux_per_cm2_s
+        self.rates = dict(rates_per_min or {})
+        for name, rate in self.rates.items():
+            if rate < 0:
+                raise BeamError(f"rate for {name!r} must be nonnegative")
+
+    # -- time for targets ----------------------------------------------------------
+
+    def hours_for_fluence(
+        self, fluence: float = SIGNIFICANT_FLUENCE
+    ) -> float:
+        """Beam hours to accumulate a target fluence."""
+        if fluence <= 0:
+            raise BeamError("fluence target must be positive")
+        return fluence / self.flux / 3600.0
+
+    def hours_for_events(
+        self, event_class: str, count: float = SIGNIFICANT_EVENTS
+    ) -> float:
+        """Beam hours until a class expects *count* events."""
+        if count <= 0:
+            raise BeamError("event target must be positive")
+        rate = self.rates.get(event_class)
+        if rate is None:
+            raise BeamError(f"unknown event class {event_class!r}")
+        if rate == 0:
+            raise BeamError(f"{event_class!r} has zero rate; unreachable")
+        return count / rate / 60.0
+
+    def hours_for_precision(
+        self,
+        event_class: str,
+        relative_halfwidth: float,
+        level: float = CONFIDENCE_LEVEL,
+    ) -> float:
+        """Beam hours for a target relative CI half-width on a rate.
+
+        For a Poisson count N the 95 % CI half-width is ~ z*sqrt(N), so
+        the relative precision is z/sqrt(N): solve for N, then for time.
+        """
+        if not 0 < relative_halfwidth < 1:
+            raise BeamError("relative half-width must be in (0, 1)")
+        z = stats.norm.ppf(0.5 + level / 2.0)
+        needed_events = (z / relative_halfwidth) ** 2
+        return self.hours_for_events(event_class, needed_events)
+
+    # -- session assessment -----------------------------------------------------------
+
+    def plan(self, hours: float) -> BeamTimePlan:
+        """Assess what a session of *hours* delivers."""
+        if hours <= 0:
+            raise BeamError("session length must be positive")
+        minutes = hours * 60.0
+        expected = {name: rate * minutes for name, rate in self.rates.items()}
+        z = stats.norm.ppf(0.5 + CONFIDENCE_LEVEL / 2.0)
+        precision = {
+            name: (z / count ** 0.5 if count > 0 else float("inf"))
+            for name, count in expected.items()
+        }
+        return BeamTimePlan(
+            hours=hours,
+            fluence_per_cm2=self.flux * hours * 3600.0,
+            expected_events=expected,
+            relative_precision=precision,
+        )

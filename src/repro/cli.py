@@ -1,0 +1,191 @@
+"""``repro-campaign``: run, persist, and analyze campaigns from the shell.
+
+Subcommands::
+
+    repro-campaign run OUTDIR [--seed N] [--time-scale X]
+        Fly the Table 2 campaign and persist everything under OUTDIR
+        (campaign.json + per-session dmesg captures).
+
+    repro-campaign analyze OUTDIR [--artifact table2|fig8|fig11|summary]
+        Reload a stored campaign and print an analysis artifact.
+
+    repro-campaign export OUTDIR
+        Write the campaign's tables as CSVs next to the raw data.
+
+    repro-campaign report OUTDIR
+        Write the full markdown campaign report (REPORT.md).
+
+The separation mirrors real campaign practice: `run` burns (simulated)
+beam time once; `analyze`/`export` are free and repeatable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+from .core.analysis import CampaignAnalysis
+from .core.report import Table
+from .harness.campaign import Campaign, CampaignResult
+from .injection.events import OutcomeKind
+from .io.results_dir import ResultsDirectory
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    campaign = Campaign(seed=args.seed, time_scale=args.time_scale).run()
+    results = ResultsDirectory(args.outdir)
+    written = results.export_all(campaign)
+    print(f"campaign flown (seed={args.seed}, time_scale={args.time_scale})")
+    for path in written:
+        print(f"  wrote {path}")
+    return 0
+
+
+def _summary_table(analysis: CampaignAnalysis, campaign: CampaignResult) -> Table:
+    table = Table(
+        title="Campaign summary",
+        header=[
+            "Session",
+            "PMD (mV)",
+            "Freq (MHz)",
+            "Upsets/min",
+            "Failures",
+            "SDC FIT",
+            "Total FIT",
+        ],
+    )
+    for label in campaign.labels():
+        session = campaign.session(label)
+        point = session.plan.point
+        table.add_row(
+            label,
+            point.pmd_mv,
+            point.freq_mhz,
+            analysis.upset_rate(label).per_minute,
+            session.failure_count,
+            analysis.category_fit(label, OutcomeKind.SDC).fit,
+            analysis.total_fit(label).fit,
+        )
+    return table
+
+
+def _analysis_tables(
+    analysis: CampaignAnalysis, campaign: CampaignResult
+) -> Dict[str, Table]:
+    tables = {"table2": analysis.table2()}
+    tables["summary"] = _summary_table(analysis, campaign)
+
+    fig8 = Table(
+        title="Failure mix per session (%)",
+        header=["Session", "AppCrash", "SysCrash", "SDC"],
+    )
+    for label in campaign.labels():
+        if campaign.session(label).failure_count == 0:
+            continue
+        mix = analysis.failure_mix(label)
+        fig8.add_row(
+            label,
+            mix[OutcomeKind.APP_CRASH],
+            mix[OutcomeKind.SYS_CRASH],
+            mix[OutcomeKind.SDC],
+        )
+    tables["fig8"] = fig8
+
+    fig11 = Table(
+        title="FIT per category",
+        header=["Session", "AppCrash", "SysCrash", "SDC", "Total"],
+    )
+    for label in campaign.labels():
+        fig11.add_row(
+            label,
+            analysis.category_fit(label, OutcomeKind.APP_CRASH).fit,
+            analysis.category_fit(label, OutcomeKind.SYS_CRASH).fit,
+            analysis.category_fit(label, OutcomeKind.SDC).fit,
+            analysis.total_fit(label).fit,
+        )
+    tables["fig11"] = fig11
+    return tables
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    results = ResultsDirectory(args.outdir)
+    campaign = results.load_campaign()
+    analysis = CampaignAnalysis(campaign)
+    tables = _analysis_tables(analysis, campaign)
+    if args.artifact not in tables:
+        print(
+            f"unknown artifact {args.artifact!r}; "
+            f"choose from {sorted(tables)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(tables[args.artifact].render())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    results = ResultsDirectory(args.outdir)
+    campaign = results.load_campaign()
+    analysis = CampaignAnalysis(campaign)
+    for name, table in _analysis_tables(analysis, campaign).items():
+        path = results.save_table(name, table)
+        print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from .core.reporting import CampaignReport
+
+    results = ResultsDirectory(args.outdir)
+    campaign = results.load_campaign()
+    path = CampaignReport(campaign).write(
+        os.path.join(args.outdir, "REPORT.md")
+    )
+    print(f"  wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-campaign`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Run, persist and analyze simulated beam campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="fly a campaign and persist it")
+    run.add_argument("outdir")
+    run.add_argument("--seed", type=int, default=2023)
+    run.add_argument("--time-scale", type=float, default=0.2)
+    run.set_defaults(func=_cmd_run)
+
+    analyze = sub.add_parser("analyze", help="print an analysis artifact")
+    analyze.add_argument("outdir")
+    analyze.add_argument(
+        "--artifact",
+        default="summary",
+        help="summary | table2 | fig8 | fig11",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
+
+    export = sub.add_parser("export", help="write analysis tables as CSV")
+    export.add_argument("outdir")
+    export.set_defaults(func=_cmd_export)
+
+    report = sub.add_parser("report", help="write the markdown report")
+    report.add_argument("outdir")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Console-script entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

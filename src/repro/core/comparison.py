@@ -1,0 +1,127 @@
+"""Cross-study SER comparison and technology-scaling context.
+
+Section 3.5 proves the campaign's soundness by comparing its memory SER
+against a published 28 nm reference ([83]: 15 FIT/Mbit under a static
+memory test at Beijing sea level) and attributing the gap to workload
+masking.  This module packages that comparison -- and the
+technology-node context the related work (Seifert [66, 67], Tonfat
+[73]) frames it with -- as reusable analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ReferenceStudy:
+    """One published SER measurement to compare against.
+
+    Attributes
+    ----------
+    name:
+        Citation tag.
+    node_nm:
+        Process node of the DUT.
+    ser_fit_per_mbit:
+        Reported memory SER, FIT/Mbit (sea level).
+    static_test:
+        True when the study ran an exhaustive memory test (no workload
+        masking); False for workload-driven campaigns like the paper's.
+    """
+
+    name: str
+    node_nm: int
+    ser_fit_per_mbit: float
+    static_test: bool
+
+    def __post_init__(self) -> None:
+        if self.node_nm <= 0:
+            raise AnalysisError("process node must be positive")
+        if self.ser_fit_per_mbit <= 0:
+            raise AnalysisError("SER must be positive")
+
+
+#: Published anchors used by the paper and its related work.
+REFERENCE_STUDIES: List[ReferenceStudy] = [
+    ReferenceStudy(
+        name="Yang2019-CSNS-28nm [83]",
+        node_nm=28,
+        ser_fit_per_mbit=15.0,
+        static_test=True,
+    ),
+    ReferenceStudy(
+        name="this-paper-session1",
+        node_nm=28,
+        ser_fit_per_mbit=2.08,
+        static_test=False,
+    ),
+]
+
+
+def masking_factor(
+    measured_ser: float, static_reference_ser: float
+) -> float:
+    """Fraction of raw upsets the workload hides.
+
+    The paper's benchmarks neither touch the whole cache nor re-read
+    every word before overwrite, so the dynamic SER undershoots the
+    static reference; the masking factor is 1 - measured/static
+    (~0.86 for the paper's 2.08 vs [83]'s 15).
+    """
+    if measured_ser < 0 or static_reference_ser <= 0:
+        raise AnalysisError("SER values must be positive")
+    if measured_ser > static_reference_ser:
+        raise AnalysisError(
+            "measured dynamic SER exceeds the static reference; "
+            "check the normalization"
+        )
+    return 1.0 - measured_ser / static_reference_ser
+
+
+def is_consistent_with_reference(
+    measured_ser: float,
+    reference: ReferenceStudy,
+    max_masking: float = 0.95,
+) -> bool:
+    """The paper's soundness check (Section 3.5), as a predicate.
+
+    A workload-driven SER is consistent with a static reference when it
+    sits *below* it but not implausibly far below (masking above
+    ``max_masking`` would mean the campaign barely saw the memory).
+    """
+    if not reference.static_test:
+        raise AnalysisError("consistency check needs a static-test reference")
+    if measured_ser > reference.ser_fit_per_mbit:
+        return False
+    return masking_factor(measured_ser, reference.ser_fit_per_mbit) <= max_masking
+
+
+def scale_ser_per_bit(
+    ser_fit_per_mbit: float,
+    from_node_nm: int,
+    to_node_nm: int,
+    per_node_slope: float = 0.92,
+) -> float:
+    """Extrapolate per-bit SER across process nodes.
+
+    Seifert's historical data [66, 67] shows per-bit SRAM SER roughly
+    *flat to slightly decreasing* per technology generation (smaller
+    collection volume offsets smaller Qcrit); ``per_node_slope`` is the
+    per-generation multiplier (a generation being a ~0.7x linear
+    shrink).  Chip-level SER still grows because integration doubles the
+    bit count per generation.
+    """
+    if ser_fit_per_mbit <= 0:
+        raise AnalysisError("SER must be positive")
+    if from_node_nm <= 0 or to_node_nm <= 0:
+        raise AnalysisError("nodes must be positive")
+    if per_node_slope <= 0:
+        raise AnalysisError("slope must be positive")
+    import math
+
+    generations = math.log(from_node_nm / to_node_nm, 1.0 / 0.7)
+    return ser_fit_per_mbit * per_node_slope ** generations

@@ -1,0 +1,107 @@
+"""Confidence intervals for radiation-test statistics.
+
+All error bars in the paper use a 95 % confidence level (Section 3.5).
+Event counts in beam testing are Poisson; the exact (Garwood)
+chi-square interval is the standard choice in SEE test guidelines
+(JESD89B).  Failure probabilities (pfail) are binomial; the Wilson
+score interval behaves well at the extreme proportions Fig. 4 probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy import stats
+
+from ..constants import CONFIDENCE_LEVEL
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided interval around a point estimate."""
+
+    value: float
+    lower: float
+    upper: float
+    level: float = CONFIDENCE_LEVEL
+
+    def __post_init__(self) -> None:
+        if not self.lower <= self.value <= self.upper:
+            raise AnalysisError(
+                f"interval [{self.lower}, {self.upper}] does not contain "
+                f"the estimate {self.value}"
+            )
+        if not 0 < self.level < 1:
+            raise AnalysisError("confidence level must be in (0, 1)")
+
+    @property
+    def halfwidth(self) -> float:
+        """Half the interval span (the symmetric error-bar length)."""
+        return 0.5 * (self.upper - self.lower)
+
+    def scaled(self, factor: float) -> "ConfidenceInterval":
+        """Scale the whole interval (e.g. counts -> rates -> FIT)."""
+        if factor < 0:
+            raise AnalysisError("scale factor must be nonnegative")
+        return ConfidenceInterval(
+            value=self.value * factor,
+            lower=self.lower * factor,
+            upper=self.upper * factor,
+            level=self.level,
+        )
+
+
+def poisson_interval(
+    count: int, level: float = CONFIDENCE_LEVEL
+) -> ConfidenceInterval:
+    """Exact (Garwood) interval for a Poisson count.
+
+    lower = chi2.ppf(alpha/2, 2k) / 2     (0 when k = 0)
+    upper = chi2.ppf(1 - alpha/2, 2k + 2) / 2
+    """
+    if count < 0:
+        raise AnalysisError("count must be nonnegative")
+    if not 0 < level < 1:
+        raise AnalysisError("confidence level must be in (0, 1)")
+    alpha = 1.0 - level
+    lower = 0.0 if count == 0 else 0.5 * stats.chi2.ppf(alpha / 2.0, 2 * count)
+    upper = 0.5 * stats.chi2.ppf(1.0 - alpha / 2.0, 2 * count + 2)
+    return ConfidenceInterval(
+        value=float(count), lower=float(lower), upper=float(upper), level=level
+    )
+
+
+def poisson_rate_interval(
+    count: int, exposure: float, level: float = CONFIDENCE_LEVEL
+) -> ConfidenceInterval:
+    """Interval on a Poisson rate = count / exposure."""
+    if exposure <= 0:
+        raise AnalysisError("exposure must be positive")
+    return poisson_interval(count, level).scaled(1.0 / exposure)
+
+
+def binomial_interval(
+    successes: int, trials: int, level: float = CONFIDENCE_LEVEL
+) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise AnalysisError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise AnalysisError("successes must be within [0, trials]")
+    if not 0 < level < 1:
+        raise AnalysisError("confidence level must be in (0, 1)")
+    z = stats.norm.ppf(0.5 + level / 2.0)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * ((p * (1 - p) / trials + z * z / (4 * trials * trials)) ** 0.5)
+        / denom
+    )
+    # Clamp against floating-point residue at the extremes (p = 0 or 1,
+    # where center -/+ margin should equal p exactly).
+    lower = min(max(0.0, float(center - margin)), p)
+    upper = max(min(1.0, float(center + margin)), p)
+    return ConfidenceInterval(value=p, lower=lower, upper=upper, level=level)

@@ -1,0 +1,117 @@
+"""Multi-seed campaign ensembles: robustness of the headline numbers.
+
+A single campaign is one draw from the Monte-Carlo distribution; the
+paper itself leans on Poisson error bars for exactly this reason.  An
+ensemble flies the same campaign under several seeds and reports the
+distribution of each headline metric -- the reproduction's answer to
+"would the 16x SDC increase survive a different beam week?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..harness.campaign import Campaign
+from .analysis import CampaignAnalysis
+
+#: A metric extractor over one campaign's analysis.
+MetricFn = Callable[[CampaignAnalysis], float]
+
+
+@dataclass(frozen=True)
+class MetricDistribution:
+    """Distribution of one metric over the ensemble.
+
+    Attributes
+    ----------
+    name:
+        Metric label.
+    values:
+        One value per seed.
+    """
+
+    name: str
+    values: List[float]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise AnalysisError(f"{self.name}: empty ensemble")
+
+    @property
+    def mean(self) -> float:
+        """Ensemble mean."""
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Ensemble standard deviation (0 for singleton ensembles)."""
+        if len(self.values) < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def spread(self) -> float:
+        """Max - min over the ensemble."""
+        return float(np.max(self.values) - np.min(self.values))
+
+    def within(self, lower: float, upper: float) -> bool:
+        """Does every ensemble member land in [lower, upper]?"""
+        return all(lower <= v <= upper for v in self.values)
+
+
+#: The study's headline metrics, as extractors.
+HEADLINE_METRICS: Dict[str, MetricFn] = {
+    "upset_rate_nominal": lambda a: a.upset_rate("session1").per_minute,
+    "upset_rate_vmin": lambda a: a.upset_rate("session3").per_minute,
+    "sdc_fit_increase": lambda a: a.sdc_fit_increase("session3", "session1"),
+    "total_fit_increase": lambda a: a.total_fit_increase(
+        "session3", "session1"
+    ),
+    "memory_ser_nominal": lambda a: a.memory_ser("session1"),
+}
+
+
+def run_ensemble(
+    seeds: Sequence[int],
+    time_scale: float = 0.25,
+    metrics: Dict[str, MetricFn] = None,
+) -> Dict[str, MetricDistribution]:
+    """Fly the Table 2 campaign once per seed; collect metric distributions.
+
+    Parameters
+    ----------
+    seeds:
+        Campaign seeds (>= 2 for meaningful spreads).
+    time_scale:
+        Per-session beam-time fraction.
+    metrics:
+        Metric extractors (defaults to the headline set).
+    """
+    if not seeds:
+        raise AnalysisError("need at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise AnalysisError("seeds must be distinct")
+    metrics = metrics if metrics is not None else HEADLINE_METRICS
+    if not metrics:
+        raise AnalysisError("need at least one metric")
+    collected: Dict[str, List[float]] = {name: [] for name in metrics}
+    for seed in seeds:
+        campaign = Campaign(seed=int(seed), time_scale=time_scale).run()
+        analysis = CampaignAnalysis(campaign)
+        for name, fn in metrics.items():
+            collected[name].append(float(fn(analysis)))
+    return {
+        name: MetricDistribution(name=name, values=values)
+        for name, values in collected.items()
+    }
+
+
+def coefficient_of_variation(distribution: MetricDistribution) -> float:
+    """std/mean -- the ensemble's relative stability of one metric."""
+    if distribution.mean == 0:
+        raise AnalysisError("zero-mean metric has no CV")
+    return distribution.std / abs(distribution.mean)

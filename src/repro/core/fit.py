@@ -1,0 +1,90 @@
+"""Failures-in-time (FIT) rates (Eq. 2 of the paper).
+
+    FIT = DCS * 13 n/cm^2/h * 1e9 h
+
+i.e. the expected number of failures per billion device-hours when the
+device operates in the reference New York City sea-level neutron
+environment (JEDEC JESD89B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import (
+    CONFIDENCE_LEVEL,
+    FIT_HOURS,
+    NYC_FLUX_PER_CM2_HOUR,
+)
+from ..errors import AnalysisError
+from ..units import bits_to_mbit
+from .confidence import ConfidenceInterval
+from .cross_section import DcsEstimate, dynamic_cross_section
+
+
+@dataclass(frozen=True)
+class FitEstimate:
+    """A FIT rate with its confidence interval.
+
+    Attributes
+    ----------
+    interval:
+        Interval on the FIT value.
+    dcs:
+        The underlying cross-section estimate.
+    """
+
+    interval: ConfidenceInterval
+    dcs: DcsEstimate
+
+    @property
+    def fit(self) -> float:
+        """Point estimate, failures per 1e9 device-hours."""
+        return self.interval.value
+
+    @property
+    def events(self) -> int:
+        """The event count behind the estimate."""
+        return self.dcs.events
+
+
+def fit_from_dcs(
+    dcs: DcsEstimate,
+    flux_per_cm2_hour: float = NYC_FLUX_PER_CM2_HOUR,
+) -> FitEstimate:
+    """Convert a cross-section into a FIT rate for an environment flux."""
+    if flux_per_cm2_hour <= 0:
+        raise AnalysisError("environment flux must be positive")
+    factor = flux_per_cm2_hour * FIT_HOURS
+    return FitEstimate(interval=dcs.interval.scaled(factor), dcs=dcs)
+
+
+def fit_rate(
+    events: int,
+    fluence_per_cm2: float,
+    flux_per_cm2_hour: float = NYC_FLUX_PER_CM2_HOUR,
+    level: float = CONFIDENCE_LEVEL,
+) -> FitEstimate:
+    """FIT rate straight from an event count and a fluence (Eqs. 1+2)."""
+    dcs = dynamic_cross_section(events, fluence_per_cm2, level)
+    return fit_from_dcs(dcs, flux_per_cm2_hour)
+
+
+def ser_fit_per_mbit(
+    upsets: int,
+    fluence_per_cm2: float,
+    sram_bits: int,
+    flux_per_cm2_hour: float = NYC_FLUX_PER_CM2_HOUR,
+) -> float:
+    """Memory soft-error rate in FIT per Mbit (Table 2, last row)."""
+    if sram_bits <= 0:
+        raise AnalysisError("SRAM size must be positive")
+    estimate = fit_rate(upsets, fluence_per_cm2, flux_per_cm2_hour)
+    return estimate.fit / bits_to_mbit(sram_bits)
+
+
+def mttf_hours(fit: float) -> float:
+    """Mean time to failure implied by a FIT rate, in hours."""
+    if fit <= 0:
+        raise AnalysisError("FIT must be positive for a finite MTTF")
+    return FIT_HOURS / fit

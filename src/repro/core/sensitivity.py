@@ -1,0 +1,146 @@
+"""One-at-a-time sensitivity of the headline outputs to the calibration.
+
+Every reproduction stands on calibrated parameters; this module
+quantifies how much each one steers the headline outputs (total upset
+rate at Vmin, SDC rate at Vmin, the power-savings figure) when varied
+over a plausibility band -- the tornado chart reviewers ask for.
+Deterministic: it evaluates the calibrated *models*, not Monte-Carlo
+sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..errors import AnalysisError
+from ..injection.calibration import (
+    LEVEL_BASE_RATES_980MV,
+    LEVEL_VOLTAGE_SLOPES,
+    LevelRateModel,
+    OutcomeMixModel,
+)
+from ..soc.power import PowerModel
+
+#: A parameterized output: factor -> output value.
+OutputFn = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """One row of the tornado table.
+
+    Attributes
+    ----------
+    parameter:
+        What was varied.
+    output:
+        Which headline output was measured.
+    low / nominal / high:
+        Output at the low factor, factor 1, and the high factor.
+    """
+
+    parameter: str
+    output: str
+    low: float
+    nominal: float
+    high: float
+
+    @property
+    def swing(self) -> float:
+        """|high - low| -- the tornado bar length."""
+        return abs(self.high - self.low)
+
+    @property
+    def relative_swing(self) -> float:
+        """Swing as a fraction of the nominal output."""
+        if self.nominal == 0:
+            raise AnalysisError("zero nominal output has no relative swing")
+        return self.swing / abs(self.nominal)
+
+
+def _rate_model_with(slope_factor: float = 1.0, base_factor: float = 1.0):
+    return LevelRateModel(
+        base_rates={
+            key: rate * base_factor
+            for key, rate in LEVEL_BASE_RATES_980MV.items()
+        },
+        slopes={
+            level: k * slope_factor
+            for level, k in LEVEL_VOLTAGE_SLOPES.items()
+        },
+    )
+
+
+#: The calibrated parameters and the output each one feeds.
+_STUDIES: Dict[str, Dict[str, OutputFn]] = {
+    "level_voltage_slopes": {
+        "upsets_per_min@920mV": lambda f: _rate_model_with(
+            slope_factor=f
+        ).total_rate_per_min(920, 920),
+        "upsets_per_min@790mV": lambda f: _rate_model_with(
+            slope_factor=f
+        ).total_rate_per_min(790, 950),
+    },
+    "level_base_rates": {
+        "upsets_per_min@980mV": lambda f: _rate_model_with(
+            base_factor=f
+        ).total_rate_per_min(980, 950),
+        "upsets_per_min@920mV": lambda f: _rate_model_with(
+            base_factor=f
+        ).total_rate_per_min(920, 920),
+    },
+    "outcome_sdc_anchor": {
+        "sdc_per_min@920mV": lambda f: OutcomeMixModel(
+            anchors={
+                key: {
+                    cat: rate * (f if cat == "SDC" else 1.0)
+                    for cat, rate in rates.items()
+                }
+                for key, rates in OutcomeMixModel().anchors.items()
+            }
+        ).rate_per_min("SDC", 2400, 920),
+    },
+    "pmd_dynamic_power": {
+        "power_savings_pct@920mV": lambda f: _power_savings_with(f),
+    },
+}
+
+
+def _power_savings_with(pmd_factor: float) -> float:
+    base = PowerModel.calibrated()
+    model = PowerModel(
+        a_pmd=base.a_pmd * pmd_factor,
+        a_soc=base.a_soc,
+        p_static=base.p_static,
+    )
+    return model.savings_fraction(920, 920, 2400) * 100.0
+
+
+def run_sensitivity(
+    low: float = 0.8, high: float = 1.2
+) -> List[SensitivityEntry]:
+    """Evaluate every (parameter, output) pair over [low, 1, high]."""
+    if not 0 < low < 1 < high:
+        raise AnalysisError("need low < 1 < high factors")
+    entries: List[SensitivityEntry] = []
+    for parameter, outputs in _STUDIES.items():
+        for output, fn in outputs.items():
+            entries.append(
+                SensitivityEntry(
+                    parameter=parameter,
+                    output=output,
+                    low=float(fn(low)),
+                    nominal=float(fn(1.0)),
+                    high=float(fn(high)),
+                )
+            )
+    entries.sort(key=lambda e: e.relative_swing, reverse=True)
+    return entries
+
+
+def dominant_parameter(entries: List[SensitivityEntry]) -> str:
+    """The parameter with the largest relative swing on any output."""
+    if not entries:
+        raise AnalysisError("empty sensitivity results")
+    return entries[0].parameter

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Sub-types map to the
+major subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or platform was configured with invalid parameters."""
+
+
+class VoltageError(ConfigurationError):
+    """A requested voltage is outside the regulator's reachable range."""
+
+
+class FrequencyError(ConfigurationError):
+    """A requested frequency is outside the PLL's reachable range."""
+
+
+class GeometryError(ConfigurationError):
+    """An SRAM array or cache was declared with an impossible geometry."""
+
+
+class ProtectionError(ReproError):
+    """An ECC/parity codec was used with mismatched word sizes."""
+
+
+class InjectionError(ReproError):
+    """A fault-injection request referenced a nonexistent bit or array."""
+
+
+class BeamError(ReproError):
+    """The beam facility was driven outside its operational envelope."""
+
+
+class SessionError(ReproError):
+    """A test session was used in an invalid order (e.g. results before run)."""
+
+
+class WorkloadError(ReproError):
+    """A workload failed verification in fault-free conditions."""
+
+
+class AnalysisError(ReproError):
+    """Raw data handed to the analysis layer was inconsistent."""

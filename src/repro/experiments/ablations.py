@@ -1,0 +1,264 @@
+"""Ablation studies of the design choices behind the reproduction.
+
+Each ablation isolates one mechanism the paper's results rest on and
+shows what breaks without it:
+
+* ``interleave`` -- column interleaving is why L1/L2 never report
+  uncorrected errors: strike identical arrays with and without it.
+* ``ecc`` -- swap the L3's SECDED for parity-only protection and watch
+  every multi-bit (and, on a write-back array, every detected) error
+  become unrecoverable.
+* ``slope`` -- sensitivity of the chip-level upset rate to the
+  per-level voltage-slope calibration.
+* ``scrub`` -- accumulated-DUE rate vs patrol-scrub interval at two
+  voltages (the anti-accumulation argument of Section 3.3, quantified).
+* ``checkpoint`` -- the introduction's open question: net undervolting
+  savings once checkpoint/restart overhead is charged, across radiation
+  environments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core.report import Table
+from ..harness.availability import CheckpointModel, undervolting_verdict
+from ..injection.calibration import LevelRateModel
+from ..rng import RngStreams
+from ..soc.geometry import CacheLevel
+from ..sram.array import ArrayGeometry, SramArray
+from ..sram.mbu import MbuModel
+from ..sram.protection import DecodeStatus, ParityCodec, SecdedCodec
+from ..sram.scrubbing import model_from_level_rate
+from .config import ExperimentResult
+
+
+def _strike_array(
+    array: SramArray,
+    strikes: int,
+    rng: np.random.Generator,
+    undervolt: float = 0.0,
+) -> Dict[str, int]:
+    """Apply *strikes* MBU-bearing strikes; count outcomes by status."""
+    mbu = MbuModel()
+    outcomes = {"corrected": 0, "uncorrected": 0, "silent": 0, "clean": 0}
+    for _ in range(strikes):
+        word = int(rng.integers(0, array.geometry.words))
+        cluster = mbu.sample_cluster(rng, undervolt)
+        affected = array.strike(word, cluster, mbu, rng)
+        for target, _bits in affected:
+            result, _record = array.access(target)
+            if result.status is DecodeStatus.CORRECTED:
+                outcomes["corrected"] += 1
+            elif result.status is DecodeStatus.DETECTED_UNCORRECTABLE:
+                outcomes["uncorrected"] += 1
+            elif result.status is DecodeStatus.SILENT:
+                outcomes["silent"] += 1
+            else:
+                outcomes["clean"] += 1
+    return outcomes
+
+
+def run_interleave(
+    seed: int = 2023, time_scale: float = 1.0, strikes: int = 30_000
+) -> ExperimentResult:
+    """Ablate column interleaving on an L2-like SECDED array."""
+    streams = RngStreams(seed)
+    table = Table(
+        title="Ablation: column interleaving on a SECDED array",
+        header=["Interleave", "Corrected", "Uncorrected", "Silent"],
+    )
+    series: Dict[int, Dict[str, int]] = {}
+    for interleave in (1, 4):
+        array = SramArray(
+            geometry=ArrayGeometry(
+                name=f"l2.x{interleave}",
+                words=32768,
+                data_bits=64,
+                interleave=interleave,
+            ),
+            codec=SecdedCodec(64),
+            domain="pmd",
+        )
+        outcomes = _strike_array(
+            array, strikes, streams.child("interleave", factor=interleave),
+            undervolt=0.06,
+        )
+        series[interleave] = outcomes
+        table.add_row(
+            interleave,
+            outcomes["corrected"],
+            outcomes["uncorrected"],
+            outcomes["silent"],
+        )
+    notes = (
+        "interleaved arrays spread MBU clusters into single-bit word "
+        "errors SECDED corrects; without interleaving the same strikes "
+        "produce uncorrected (and occasionally miscorrected) words"
+    )
+    return ExperimentResult(
+        experiment_id="ablation-interleave",
+        table=table,
+        series={"outcomes": series},
+        notes=notes,
+    )
+
+
+def run_ecc(
+    seed: int = 2023, time_scale: float = 1.0, strikes: int = 30_000
+) -> ExperimentResult:
+    """Ablate the L3's SECDED: what parity-only protection would do."""
+    streams = RngStreams(seed)
+    table = Table(
+        title="Ablation: SECDED vs parity on the (write-back) L3",
+        header=["Protection", "Recovered", "Unrecoverable", "Silent"],
+    )
+    series: Dict[str, Dict[str, int]] = {}
+    for name, codec in (("SECDED", SecdedCodec(64)), ("parity", ParityCodec(64))):
+        array = SramArray(
+            geometry=ArrayGeometry(
+                name=f"l3.{name}", words=131072, data_bits=64, interleave=1
+            ),
+            codec=codec,
+            domain="soc",
+        )
+        if name == "parity":
+            # A write-back L3 holds dirty lines: a detected parity error
+            # cannot be refetched, so detection = data loss.
+            array.codec.refetch_on_detect = False
+        outcomes = _strike_array(
+            array, strikes, streams.child("ecc", codec=name)
+        )
+        recovered = outcomes["corrected"] + outcomes["clean"]
+        unrecoverable = outcomes["uncorrected"]
+        series[name] = outcomes
+        table.add_row(name, recovered, unrecoverable, outcomes["silent"])
+    notes = (
+        "on a write-back array parity can only *detect*: every single-bit "
+        "upset SECDED would have corrected becomes unrecoverable, and "
+        "even-bit flips pass silently"
+    )
+    return ExperimentResult(
+        experiment_id="ablation-ecc",
+        table=table,
+        series={"outcomes": series},
+        notes=notes,
+    )
+
+
+def run_slope(seed: int = 2023, time_scale: float = 1.0) -> ExperimentResult:
+    """Sensitivity of chip-level rates to the voltage-slope calibration."""
+    table = Table(
+        title="Ablation: voltage-slope sensitivity of the total upset rate",
+        header=["Slope scale", "980 mV", "930 mV", "920 mV", "790 mV @900MHz"],
+    )
+    series: Dict[float, list] = {}
+    base_slopes = dict(LevelRateModel().slopes)
+    for scale in (0.5, 1.0, 1.5):
+        model = LevelRateModel(
+            slopes={level: k * scale for level, k in base_slopes.items()}
+        )
+        rates = [
+            model.total_rate_per_min(980, 950),
+            model.total_rate_per_min(930, 925),
+            model.total_rate_per_min(920, 920),
+            model.total_rate_per_min(790, 950),
+        ]
+        series[scale] = rates
+        table.add_row(scale, *rates)
+    notes = (
+        "the nominal point is slope-invariant by construction; halving "
+        "or 1.5x-ing the fitted slopes moves the undervolted rates by a "
+        "few percent -- the Fig. 9 trend survives any plausible fit"
+    )
+    return ExperimentResult(
+        experiment_id="ablation-slope",
+        table=table,
+        series={"rates": series},
+        notes=notes,
+    )
+
+
+def run_scrub(seed: int = 2023, time_scale: float = 1.0) -> ExperimentResult:
+    """Accumulated-DUE rate vs scrub interval, nominal vs deep undervolt."""
+    rate_model = LevelRateModel()
+    table = Table(
+        title="Ablation: patrol-scrub interval vs accumulated DUEs (L3)",
+        header=["Scrub interval (s)", "DUE/s @ SoC 950 mV", "DUE/s @ SoC 920 mV"],
+    )
+    intervals = [1.0, 10.0, 100.0, 1000.0, 10000.0]
+    curves: Dict[int, list] = {950: [], 920: []}
+    for soc_mv in (950, 920):
+        l3_rate = rate_model.rate_per_min(CacheLevel.L3, True, 980, soc_mv)
+        scrub = model_from_level_rate(
+            words=131072 * 8, level_rate_per_min=l3_rate
+        )
+        curves[soc_mv] = [
+            scrub.accumulated_due_rate_per_s(t) for t in intervals
+        ]
+    for i, t in enumerate(intervals):
+        table.add_row(t, curves[950][i], curves[920][i])
+    notes = (
+        "accumulation grows linearly in the scrub interval and "
+        "quadratically in the upset rate, so undervolting tightens the "
+        "required scrub interval by the square of its rate increase"
+    )
+    return ExperimentResult(
+        experiment_id="ablation-scrub",
+        table=table,
+        series={"intervals": intervals, "curves": curves},
+        notes=notes,
+    )
+
+
+def run_checkpoint(seed: int = 2023, time_scale: float = 1.0) -> ExperimentResult:
+    """Net undervolting savings vs radiation environment, recovery included."""
+    checkpointing = CheckpointModel(checkpoint_cost_s=30.0, restart_cost_s=120.0)
+    nominal_crash_fit = 1.49 + 4.29  # Fig. 11 at 980 mV
+    vmin_crash_fit = 0.96 + 2.55  # Fig. 11 at 920 mV
+    table = Table(
+        title="Ablation: undervolting verdict across radiation environments",
+        header=[
+            "Environment (x NYC)",
+            "Raw savings (%)",
+            "Net savings (%)",
+            "Pays off",
+        ],
+    )
+    environments = [1.0, 3e2, 1e5, 1e7]
+    verdicts = []
+    for env in environments:
+        verdict = undervolting_verdict(
+            nominal_power_w=20.40,
+            nominal_crash_fit=nominal_crash_fit,
+            undervolted_power_w=18.15,
+            undervolted_crash_fit=vmin_crash_fit,
+            checkpointing=checkpointing,
+            environment_factor=env,
+        )
+        verdicts.append(verdict)
+        table.add_row(
+            env,
+            verdict.raw_savings_fraction * 100.0,
+            verdict.net_savings_fraction * 100.0,
+            "yes" if verdict.pays_off else "no",
+        )
+    notes = (
+        "with the paper's measured crash rates (which FALL with "
+        "undervolt at fixed clock), recovery overhead never negates the "
+        "savings -- answering the introduction's open question for this "
+        "chip; a chip whose crash rate rose instead would flip the "
+        "verdict at high flux"
+    )
+    return ExperimentResult(
+        experiment_id="ablation-checkpoint",
+        table=table,
+        series={
+            "environments": environments,
+            "net_savings": [v.net_savings_fraction for v in verdicts],
+            "raw_savings": [v.raw_savings_fraction for v in verdicts],
+        },
+        notes=notes,
+    )

@@ -1,0 +1,70 @@
+"""Extension experiment: per-benchmark masking via concrete injection.
+
+The study infers workload masking indirectly (the dynamic SER sits at
+~14 % of the static reference); this experiment measures it *directly*
+per benchmark by flipping real bits in each kernel's live data and
+classifying the outcome against the golden output -- producing the
+per-benchmark AVF table that design implication #3 expects
+fault-injection studies to supply.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..core.report import Table
+from ..injection.direct import DirectInjector
+from ..injection.events import OutcomeKind
+from ..rng import RngStreams
+from ..workloads.suite import SUITE_NAMES, make_workload
+from .config import ExperimentResult
+
+
+def run(
+    seed: int = 2023,
+    time_scale: float = 1.0,
+    injections: int = 80,
+    kernel_scale: float = 0.4,
+) -> ExperimentResult:
+    """Direct-injection masking/AVF study over the six benchmarks."""
+    streams = RngStreams(seed)
+    table = Table(
+        title="Extension: per-benchmark masking via direct bit flips",
+        header=[
+            "Benchmark",
+            "Injections",
+            "Masked (%)",
+            "SDC (%)",
+            "Crash (%)",
+            "AVF",
+        ],
+    )
+    series: Dict[str, Dict[str, float]] = {}
+    for name in SUITE_NAMES:
+        workload = make_workload(name, scale=kernel_scale, seed=seed)
+        injector = DirectInjector(workload)
+        rng = streams.child("masking", benchmark=name)
+        counts = injector.campaign(injections, rng)
+        total = sum(counts.values())
+        masked = counts[OutcomeKind.MASKED] / total
+        sdc = counts[OutcomeKind.SDC] / total
+        crash = counts.get(OutcomeKind.APP_CRASH, 0) / total
+        avf = sdc + crash
+        series[name] = {
+            "masked": masked, "sdc": sdc, "crash": crash, "avf": avf,
+        }
+        table.add_row(
+            name, total, 100 * masked, 100 * sdc, 100 * crash, avf
+        )
+    mean_masked = float(np.mean([s["masked"] for s in series.values()]))
+    series["suite_mean_masked"] = mean_masked
+    notes = (
+        "these AVFs cover faults in the kernels' *live data*; the "
+        "campaign-level masking (~86% vs the static SER reference) is "
+        "larger because the beam also hits dead and never-read memory"
+    )
+    return ExperimentResult(
+        experiment_id="ext-masking", table=table, series=series, notes=notes
+    )

@@ -1,0 +1,83 @@
+"""Figure 5: cache upsets per minute, per benchmark and voltage (2.4 GHz).
+
+Uses the shared campaign's three 2.4 GHz sessions and breaks each
+session's upsets down by the benchmark that was running, plus the
+consolidated per-voltage totals (the red bars of Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.analysis import CampaignAnalysis
+from ..core.report import Table
+from ..workloads.suite import SUITE_NAMES
+from .config import (
+    DEFAULT_SEED,
+    DEFAULT_TIME_SCALE,
+    ExperimentResult,
+    shared_campaign,
+)
+
+#: Fig. 5's benchmark display order.
+DISPLAY_ORDER: List[str] = ["CG", "LU", "FT", "EP", "MG", "IS"]
+
+
+def run(
+    seed: int = DEFAULT_SEED, time_scale: float = DEFAULT_TIME_SCALE
+) -> ExperimentResult:
+    """Regenerate the Fig. 5 bar data from the 2.4 GHz sessions."""
+    campaign = shared_campaign(seed, time_scale)
+    analysis = CampaignAnalysis(campaign)
+    sessions_24ghz = [
+        label
+        for label in campaign.labels()
+        if campaign.session(label).plan.point.freq_mhz == 2400
+    ]
+
+    table = Table(
+        title="Figure 5: Cache memory upsets per minute (2.4 GHz)",
+        header=["Benchmark"]
+        + [
+            f"{campaign.session(label).plan.point.pmd_mv} mV"
+            for label in sessions_24ghz
+        ],
+    )
+    rates: Dict[str, List[float]] = {}
+    per_session_bench = {
+        label: analysis.benchmark_upset_rates(label)
+        for label in sessions_24ghz
+    }
+    for bench in DISPLAY_ORDER:
+        row = [
+            per_session_bench[label][bench].per_minute
+            if bench in per_session_bench[label]
+            else 0.0
+            for label in sessions_24ghz
+        ]
+        rates[bench] = row
+        table.add_row(bench, *row)
+    totals = [
+        analysis.upset_rate(label).per_minute for label in sessions_24ghz
+    ]
+    rates["Total"] = totals
+    table.add_row("Total", *totals)
+
+    nominal_total = totals[0] if totals else 0.0
+    vmin_total = totals[-1] if totals else 0.0
+    series = {
+        "rates": rates,
+        "voltages_mv": [
+            campaign.session(label).plan.point.pmd_mv
+            for label in sessions_24ghz
+        ],
+        "max_benchmark_increase_pct": max(
+            (
+                (rates[b][-1] / rates[b][0] - 1.0) * 100.0
+                for b in SUITE_NAMES
+                if rates.get(b) and rates[b][0] > 0
+            ),
+            default=0.0,
+        ),
+    }
+    return ExperimentResult(experiment_id="fig5", table=table, series=series)

@@ -1,0 +1,44 @@
+"""Figure 9: power consumption vs cache-upset rate across settings.
+
+The two-knob trade-off: each Table 3 operating point's average power
+(bars) against its consolidated upset rate (line).  Built from the
+calibrated power and rate models -- the same models the Monte-Carlo
+sessions draw from -- so the figure is deterministic.
+"""
+
+from __future__ import annotations
+
+from ..core.report import Table
+from ..core.tradeoff import build_tradeoff_series
+from .config import ExperimentResult
+
+
+def run(seed: int = 0, time_scale: float = 1.0) -> ExperimentResult:
+    """Regenerate the Fig. 9 series over the Table 3 operating points."""
+    series_obj = build_tradeoff_series()
+    table = Table(
+        title="Figure 9: Power vs soft-error susceptibility trade-off",
+        header=[
+            "Setting",
+            "Frequency (MHz)",
+            "PMD Voltage (mV)",
+            "Power (W)",
+            "Upsets/min",
+        ],
+    )
+    for p in series_obj.points:
+        table.add_row(
+            p.point.label,
+            p.point.freq_mhz,
+            p.point.pmd_mv,
+            p.power_watts,
+            p.upsets_per_min,
+        )
+    series = {
+        "power_watts": [p.power_watts for p in series_obj.points],
+        "upsets_per_min": [p.upsets_per_min for p in series_obj.points],
+        "settings": [
+            (p.point.freq_mhz, p.point.pmd_mv) for p in series_obj.points
+        ],
+    }
+    return ExperimentResult(experiment_id="fig9", table=table, series=series)

@@ -1,0 +1,101 @@
+"""Experiment registry and the ``repro-experiment`` console script."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from ..errors import ConfigurationError
+from . import (
+    ablations,
+    ext_masking,
+    ext_viruses,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table2,
+    table3,
+)
+from .config import DEFAULT_SEED, DEFAULT_TIME_SCALE, ExperimentResult
+
+#: Every reproducible artifact, by id.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table2": table2.run,
+    "table3": table3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "ablation-interleave": ablations.run_interleave,
+    "ablation-ecc": ablations.run_ecc,
+    "ablation-slope": ablations.run_slope,
+    "ablation-scrub": ablations.run_scrub,
+    "ablation-checkpoint": ablations.run_checkpoint,
+    "ext-masking": ext_masking.run,
+    "ext-viruses": ext_viruses.run,
+}
+
+
+def run_experiment(
+    experiment_id: str,
+    seed: int = DEFAULT_SEED,
+    time_scale: float = DEFAULT_TIME_SCALE,
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](seed=seed, time_scale=time_scale)
+
+
+def main(argv=None) -> int:
+    """CLI: ``repro-experiment fig11 [--seed N] [--time-scale X] [--csv]``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Regenerate a table or figure of the MICRO'23 paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="artifact id, or 'all'",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=DEFAULT_TIME_SCALE,
+        help="fraction of each session's beam time to fly (default 0.2)",
+    )
+    parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of ASCII tables"
+    )
+    args = parser.parse_args(argv)
+
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        result = run_experiment(
+            experiment_id, seed=args.seed, time_scale=args.time_scale
+        )
+        print(result.table.to_csv() if args.csv else result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""The four-session radiation campaign of Table 2.
+
+Runs every session plan against a fresh chip, collects the results,
+and exposes campaign-level views (per-voltage aggregation, consolidated
+EDAC statistics) that the analysis layer turns into the paper's tables
+and figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import SessionError
+from ..rng import RngStreams
+from ..soc.xgene2 import XGene2
+from .session import (
+    BeamSession,
+    SessionPlan,
+    SessionResult,
+    TABLE2_SESSION_PLANS,
+    scaled_plan,
+)
+
+
+@dataclass
+class CampaignResult:
+    """All sessions of one campaign, by label."""
+
+    sessions: Dict[str, SessionResult] = field(default_factory=dict)
+    sram_bits: int = 0
+
+    def session(self, label: str) -> SessionResult:
+        """Look one session up by label."""
+        if label not in self.sessions:
+            raise SessionError(f"no such session: {label!r}")
+        return self.sessions[label]
+
+    def by_pmd_voltage(self) -> Dict[int, SessionResult]:
+        """Sessions keyed by their PMD voltage."""
+        return {
+            result.plan.point.pmd_mv: result
+            for result in self.sessions.values()
+        }
+
+    def labels(self) -> List[str]:
+        """Session labels in insertion (flight) order."""
+        return list(self.sessions)
+
+
+class Campaign:
+    """Runs a list of session plans with deterministic seeding.
+
+    Parameters
+    ----------
+    plans:
+        Session plans to fly (defaults to Table 2's four).
+    seed:
+        Root seed; every stochastic draw of the campaign derives
+        from it.
+    time_scale:
+        Shrinks every session's beam time (1.0 = full length;
+        tests and quick demos use much smaller values).
+    """
+
+    def __init__(
+        self,
+        plans: Optional[List[SessionPlan]] = None,
+        seed: int = 2023,
+        time_scale: float = 1.0,
+    ) -> None:
+        base_plans = plans if plans is not None else TABLE2_SESSION_PLANS
+        if time_scale != 1.0:
+            base_plans = [scaled_plan(p, time_scale) for p in base_plans]
+        self.plans = base_plans
+        self.streams = RngStreams(seed)
+
+    def run(self) -> CampaignResult:
+        """Fly every session on a fresh chip; return all results."""
+        result = CampaignResult()
+        for plan in self.plans:
+            chip = XGene2()
+            session = BeamSession(plan, self.streams, chip=chip)
+            result.sessions[plan.label] = session.run()
+            if not result.sram_bits:
+                result.sram_bits = chip.sram_data_bits
+        return result

@@ -1,0 +1,283 @@
+"""One beam test session, with the paper's stopping rules.
+
+A session pins an operating point, slides the DUT into the halo, and
+cycles the six benchmarks until a stopping condition fires (Section
+3.5):
+
+* ~100 accumulated failures (SDC + AppCrash + SysCrash), or
+* >= 1e11 n/cm^2 fluence, or
+* the reserved beam time runs out (session 4 ended at 165 minutes).
+
+:data:`TABLE2_SESSION_PLANS` encodes the four campaign sessions with
+Table 2's actual durations, so the regenerated table reproduces the
+paper's fluences and NYC-equivalence figures exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from .. import constants
+from ..beam.fluence import FluenceAccount
+from ..constants import TNF_HALO_FLUX_PER_CM2_S
+from ..errors import SessionError
+from ..injection.calibration import LevelRateModel, OutcomeMixModel
+from ..injection.events import FailureEvent, OutcomeKind
+from ..injection.injector import BeamInjector, InjectionSummary
+from ..injection.propagation import OutcomeModel
+from ..rng import RngStreams
+from ..soc.dvfs import OperatingPoint, TABLE3_OPERATING_POINTS
+from ..soc.edac import EdacLog
+from ..soc.xgene2 import XGene2
+from ..units import bits_to_mbit
+from ..workloads.profiles import PROFILES
+from ..workloads.suite import SUITE_NAMES
+from .controller import ControlPC, RunOutcome
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """Configuration of one beam session.
+
+    Attributes
+    ----------
+    label:
+        Session identifier ("session1", ...).
+    point:
+        Operating point (frequency + domain voltages).
+    max_minutes:
+        Reserved beam time; the hard stop.
+    target_failures:
+        Optional early stop on accumulated failures (None = off).
+    target_fluence:
+        Optional early stop on fluence (None = off).
+    benchmarks:
+        Benchmark rotation (defaults to the full suite).
+    flux_per_cm2_s:
+        Beam flux at the DUT (the halo flux by default).
+    """
+
+    label: str
+    point: OperatingPoint
+    max_minutes: float
+    target_failures: Optional[int] = None
+    target_fluence: Optional[float] = None
+    benchmarks: List[str] = field(default_factory=lambda: list(SUITE_NAMES))
+    flux_per_cm2_s: float = TNF_HALO_FLUX_PER_CM2_S
+
+    def __post_init__(self) -> None:
+        if self.max_minutes <= 0:
+            raise SessionError("session needs positive beam time")
+        if not self.benchmarks:
+            raise SessionError("session needs at least one benchmark")
+
+
+#: The four campaign sessions of Table 2 (durations as flown).
+TABLE2_SESSION_PLANS: List[SessionPlan] = [
+    SessionPlan("session1", TABLE3_OPERATING_POINTS[0], max_minutes=1651.0),
+    SessionPlan("session2", TABLE3_OPERATING_POINTS[1], max_minutes=1618.0),
+    SessionPlan(
+        "session3",
+        TABLE3_OPERATING_POINTS[2],
+        max_minutes=453.0,
+        target_failures=141,
+    ),
+    SessionPlan("session4", TABLE3_OPERATING_POINTS[3], max_minutes=165.0),
+]
+
+
+@dataclass
+class SessionResult:
+    """Everything measured during one session.
+
+    Attributes
+    ----------
+    plan:
+        The configuration that produced this result.
+    fluence:
+        Fluence account over the session.
+    upsets:
+        Consolidated upset summary.
+    failures:
+        All software failures, time-sorted.
+    edac:
+        The Control-PC's cumulative EDAC archive.
+    runs:
+        Per-run outcomes, in execution order.
+    """
+
+    plan: SessionPlan
+    fluence: FluenceAccount
+    upsets: InjectionSummary
+    failures: List[FailureEvent]
+    edac: EdacLog
+    runs: List[RunOutcome] = field(default_factory=list)
+
+    # -- Table 2 metrics ----------------------------------------------------------
+
+    @property
+    def duration_minutes(self) -> float:
+        """Beam-on duration of the session."""
+        return self.fluence.exposure_minutes
+
+    @property
+    def failure_count(self) -> int:
+        """SDCs and crashes, total."""
+        return len(self.failures)
+
+    @property
+    def failure_rate_per_min(self) -> float:
+        """Table 2's 'SDCs and crashes rate (per min)'."""
+        if self.duration_minutes <= 0:
+            return 0.0
+        return self.failure_count / self.duration_minutes
+
+    @property
+    def upset_count(self) -> int:
+        """Memory upsets, total."""
+        return self.upsets.total_upsets
+
+    @property
+    def upset_rate_per_min(self) -> float:
+        """Table 2's 'Memory upsets rate (per min)'."""
+        if self.duration_minutes <= 0:
+            return 0.0
+        return self.upset_count / self.duration_minutes
+
+    def failures_of_kind(self, kind: OutcomeKind) -> List[FailureEvent]:
+        """Failures of one category."""
+        return [f for f in self.failures if f.kind is kind]
+
+    def failure_counts(self) -> Dict[OutcomeKind, int]:
+        """Histogram over the three failure categories."""
+        return {
+            kind: len(self.failures_of_kind(kind))
+            for kind in (
+                OutcomeKind.APP_CRASH,
+                OutcomeKind.SYS_CRASH,
+                OutcomeKind.SDC,
+            )
+        }
+
+    def memory_ser_fit_per_mbit(self, sram_bits: int) -> float:
+        """Table 2's 'Memory SER (FIT per MBit)'.
+
+        Cross-section of memory upsets, converted to NYC FIT and
+        normalized per Mbit of on-chip SRAM.
+        """
+        if self.fluence.fluence_per_cm2 <= 0:
+            raise SessionError("session has no accumulated fluence")
+        dcs = self.upset_count / self.fluence.fluence_per_cm2
+        fit = dcs * constants.NYC_FLUX_PER_CM2_HOUR * constants.FIT_HOURS
+        return fit / bits_to_mbit(sram_bits)
+
+
+class BeamSession:
+    """Executes one session plan against a fresh chip model.
+
+    Parameters
+    ----------
+    plan:
+        The session configuration.
+    streams:
+        Root RNG stream factory (one per campaign).
+    chip:
+        Optional pre-built chip (a fresh one is made by default).
+    """
+
+    def __init__(
+        self,
+        plan: SessionPlan,
+        streams: RngStreams,
+        chip: XGene2 = None,
+        rate_model: LevelRateModel = None,
+        outcome_mix: OutcomeMixModel = None,
+    ) -> None:
+        self.plan = plan
+        self.streams = streams
+        self.chip = chip or XGene2()
+        self.injector = BeamInjector(self.chip, rate_model=rate_model)
+        outcome_model = (
+            OutcomeModel(mix=outcome_mix) if outcome_mix else OutcomeModel()
+        )
+        self.controller = ControlPC(self.chip, self.injector, outcome_model)
+
+    def run(self) -> SessionResult:
+        """Fly the session: apply the point, cycle benchmarks, stop."""
+        plan = self.plan
+        self.chip.apply_operating_point(plan.point)
+        rng = self.streams.child("session", label=plan.label)
+        fluence = FluenceAccount()
+        upsets = InjectionSummary()
+        failures: List[FailureEvent] = []
+        runs: List[RunOutcome] = []
+        clock_s = 0.0
+        max_s = plan.max_minutes * 60.0
+        bench_index = 0
+
+        while clock_s < max_s:
+            benchmark = plan.benchmarks[bench_index % len(plan.benchmarks)]
+            bench_index += 1
+            duration_s = min(
+                PROFILES[benchmark].runtime_s, max_s - clock_s
+            )
+            if duration_s <= 0:
+                break
+            outcome = self.controller.run_benchmark(
+                benchmark,
+                duration_s,
+                clock_s,
+                rng,
+                flux_per_cm2_s=plan.flux_per_cm2_s,
+            )
+            fluence.expose(plan.flux_per_cm2_s, duration_s)
+            upsets.merge(outcome.upsets)
+            failures.extend(outcome.failures)
+            runs.append(outcome)
+            clock_s += duration_s
+
+            if (
+                plan.target_failures is not None
+                and len(failures) >= plan.target_failures
+            ):
+                break
+            if (
+                plan.target_fluence is not None
+                and fluence.fluence_per_cm2 >= plan.target_fluence
+            ):
+                break
+
+        failures.sort(key=lambda f: f.time_s)
+        return SessionResult(
+            plan=plan,
+            fluence=fluence,
+            upsets=upsets,
+            failures=failures,
+            edac=self.controller.session_edac,
+            runs=runs,
+        )
+
+
+def scaled_plan(plan: SessionPlan, time_scale: float) -> SessionPlan:
+    """Shrink a session plan's beam time (for fast tests and smoke runs).
+
+    Stopping targets that scale with time (failure counts) are scaled
+    down proportionally; fluence targets scale with duration too.
+    """
+    if time_scale <= 0:
+        raise SessionError("time scale must be positive")
+    return replace(
+        plan,
+        max_minutes=plan.max_minutes * time_scale,
+        target_failures=(
+            None
+            if plan.target_failures is None
+            else max(int(plan.target_failures * time_scale), 1)
+        ),
+        target_fluence=(
+            None
+            if plan.target_fluence is None
+            else plan.target_fluence * time_scale
+        ),
+    )

@@ -1,0 +1,207 @@
+"""Micro-viruses: worst-case stress kernels for Vmin characterization.
+
+The paper's characterization methodology ([49]/[57]) runs full
+benchmarks hundreds of times per voltage step.  Its companion work
+([51], "Micro-Viruses for Fast System-Level Voltage Margins
+Characterization") replaces them with short kernels crafted to maximize
+voltage droop -- di/dt spikes, cache-port pressure, data-bus toggling --
+so the *worst-case* safe voltage surfaces within seconds instead of
+hours.
+
+Each virus here is a genuine numpy kernel with a verifiable checksum
+(a virus that crashes or mis-computes at a voltage step is precisely
+the failure signal), plus a calibrated ``droop_penalty_mv``: the extra
+supply droop its stress pattern induces over an average benchmark,
+which shifts the effective pfail curve upward by that amount.  The
+virus-characterized Vmin is therefore *higher* (more conservative) than
+the benchmark Vmin -- the safety margin [51] trades for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .vmin import PfailModel, VminCharacterizer, VminResult
+
+
+@dataclass(frozen=True)
+class StressSignature:
+    """What one virus stresses and how hard.
+
+    Attributes
+    ----------
+    name:
+        Virus label.
+    droop_penalty_mv:
+        Extra voltage droop vs an average benchmark (mV); shifts the
+        pfail curve up by this amount during virus-driven runs.
+    runtime_s:
+        Single-execution runtime -- the speed advantage of viruses.
+    """
+
+    name: str
+    droop_penalty_mv: float
+    runtime_s: float
+
+    def __post_init__(self) -> None:
+        if self.droop_penalty_mv < 0:
+            raise ConfigurationError("droop penalty must be nonnegative")
+        if self.runtime_s <= 0:
+            raise ConfigurationError("runtime must be positive")
+
+
+class StressKernel:
+    """Base class: a short, verifiable, maximum-stress kernel."""
+
+    signature: StressSignature
+
+    def __init__(self, seed: int = 7, size: int = 96) -> None:
+        if size < 8:
+            raise ConfigurationError("virus working set too small")
+        self.seed = seed
+        self.size = size
+        self._golden: float = None
+
+    def _run_kernel(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def run(self) -> float:
+        """Execute the stress pattern; returns its checksum."""
+        return self._run_kernel(np.random.default_rng(self.seed))
+
+    def golden(self) -> float:
+        """Fault-free checksum (cached)."""
+        if self._golden is None:
+            self._golden = self.run()
+        return self._golden
+
+    def verify(self) -> bool:
+        """Run once and compare against the golden checksum."""
+        return abs(self.run() - self.golden()) <= 1e-12 * max(
+            1.0, abs(self.golden())
+        )
+
+
+class PowerVirus(StressKernel):
+    """Dense FMA pressure: back-to-back matrix products.
+
+    Maximizes simultaneous functional-unit activity -- the di/dt pattern
+    that produces the deepest supply droop on real hardware.
+    """
+
+    signature = StressSignature(
+        name="power-virus", droop_penalty_mv=15.0, runtime_s=0.2
+    )
+
+    def _run_kernel(self, rng: np.random.Generator) -> float:
+        a = rng.standard_normal((self.size, self.size))
+        b = rng.standard_normal((self.size, self.size))
+        acc = np.eye(self.size)
+        for _ in range(8):
+            acc = acc @ a
+            acc = acc + acc @ b
+            acc /= np.abs(acc).max()
+        return float(acc.sum())
+
+
+class CacheThrashVirus(StressKernel):
+    """Strided walks defeating every cache level.
+
+    Keeps the L1/L2 miss machinery saturated; on the real chip this
+    pattern exposes the memory-subsystem voltage sensitivity.
+    """
+
+    signature = StressSignature(
+        name="cache-thrash", droop_penalty_mv=10.0, runtime_s=0.3
+    )
+
+    def _run_kernel(self, rng: np.random.Generator) -> float:
+        n = self.size * self.size * 16
+        data = rng.standard_normal(n)
+        checksum = 0.0
+        for stride in (4099, 8209, 16411):  # primes > typical line count
+            idx = (np.arange(n // 4) * stride) % n
+            checksum += float(data[idx].sum())
+            data[idx] = -data[idx]
+        return checksum
+
+
+class ToggleVirus(StressKernel):
+    """Maximum data-bus toggling: alternating complement patterns.
+
+    Flipping every wire every cycle maximizes switching noise on the
+    data paths -- the classic signal-integrity stressor.
+    """
+
+    signature = StressSignature(
+        name="bus-toggle", droop_penalty_mv=8.0, runtime_s=0.15
+    )
+
+    def _run_kernel(self, rng: np.random.Generator) -> float:
+        n = self.size * self.size * 8
+        pattern = rng.integers(0, 2 ** 62, size=n, dtype=np.int64)
+        flipped = pattern
+        for _ in range(6):
+            flipped = np.bitwise_xor(flipped, ~flipped >> 1)
+        return float(np.bitwise_and(flipped, 0xFFFF).sum())
+
+
+#: The default virus battery, hardest-hitting first.
+DEFAULT_VIRUSES: List[StressKernel] = None  # built lazily in make_viruses()
+
+
+def make_viruses(seed: int = 7) -> List[StressKernel]:
+    """Instantiate the standard three-virus battery."""
+    return [PowerVirus(seed), CacheThrashVirus(seed), ToggleVirus(seed)]
+
+
+def virus_shifted_model(model: PfailModel, virus: StressKernel) -> PfailModel:
+    """The pfail curve a virus effectively sees.
+
+    The virus's droop penalty moves the whole failure curve up by that
+    many millivolts: at a given external voltage, the internal rails sag
+    deeper, failing as the benchmark curve would ``penalty`` lower.
+    """
+    return PfailModel(
+        freq_mhz=model.freq_mhz,
+        v50_mv=model.v50_mv + virus.signature.droop_penalty_mv,
+        width_mv=model.width_mv,
+    )
+
+
+def characterize_with_viruses(
+    model: PfailModel,
+    viruses: List[StressKernel] = None,
+    runs_per_voltage: int = 50,
+    seed: int = 0,
+) -> Dict[str, VminResult]:
+    """Virus-driven Vmin characterization.
+
+    Viruses run far fewer repetitions per step (their stress patterns
+    expose failures quickly), and each reports its own -- conservative
+    -- safe Vmin.  The battery's max is the deployable setting.
+    """
+    viruses = viruses if viruses is not None else make_viruses()
+    if not viruses:
+        raise ConfigurationError("need at least one virus")
+    results: Dict[str, VminResult] = {}
+    for virus in viruses:
+        if not virus.verify():
+            raise ConfigurationError(
+                f"{virus.signature.name}: checksum unstable in fault-free run"
+            )
+        shifted = virus_shifted_model(model, virus)
+        characterizer = VminCharacterizer(shifted, runs_per_voltage)
+        results[virus.signature.name] = characterizer.characterize(seed=seed)
+    return results
+
+
+def battery_safe_vmin_mv(results: Dict[str, VminResult]) -> int:
+    """The deployable Vmin: the most conservative across the battery."""
+    if not results:
+        raise ConfigurationError("empty virus battery results")
+    return max(r.safe_vmin_mv for r in results.values())

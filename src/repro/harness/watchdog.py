@@ -1,0 +1,127 @@
+"""Watchdog timeout-policy calibration.
+
+The Control-PC classifies crashes through *response timeouts* (Section
+3.6): wait too briefly and a slow-but-alive run is misdeclared a crash
+(a false alarm that also power-cycles the board and wastes beam time);
+wait too long and every real crash burns dead minutes of fluence.  This
+module picks the timeout from the run-duration distribution:
+
+    timeout = quantile_(1-alpha)(runtime) + margin
+
+with the expected beam-time cost of both failure modes made explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """A chosen response timeout and its expected costs.
+
+    Attributes
+    ----------
+    timeout_s:
+        The response timeout.
+    false_alarm_probability:
+        P(a healthy run exceeds the timeout).
+    mean_detection_delay_s:
+        Dead time per real crash (the timeout itself: nothing arrives
+        after a crash, so detection always takes the full wait).
+    """
+
+    timeout_s: float
+    false_alarm_probability: float
+    mean_detection_delay_s: float
+
+    def beam_cost_per_hour_s(
+        self,
+        runs_per_hour: float,
+        crashes_per_hour: float,
+        power_cycle_s: float = 120.0,
+    ) -> float:
+        """Expected beam seconds lost per hour to this policy.
+
+        False alarms cost a needless power cycle each; real crashes
+        cost the detection delay.
+        """
+        if runs_per_hour < 0 or crashes_per_hour < 0:
+            raise ConfigurationError("rates must be nonnegative")
+        false_alarms = runs_per_hour * self.false_alarm_probability
+        return (
+            false_alarms * power_cycle_s
+            + crashes_per_hour * self.mean_detection_delay_s
+        )
+
+
+def calibrate_watchdog(
+    run_durations_s: Sequence[float],
+    false_alarm_target: float = 1e-4,
+    margin_s: float = 5.0,
+) -> WatchdogPolicy:
+    """Choose a timeout from observed fault-free run durations.
+
+    Parameters
+    ----------
+    run_durations_s:
+        Fault-free runtimes (from characterization runs).
+    false_alarm_target:
+        Acceptable P(healthy run flagged); the timeout is set at the
+        matching upper quantile of the empirical distribution.
+    margin_s:
+        Additional safety margin on top of the quantile.
+    """
+    durations = np.asarray(list(run_durations_s), dtype=float)
+    if durations.size < 10:
+        raise ConfigurationError("need at least 10 observed runs")
+    if np.any(durations <= 0):
+        raise ConfigurationError("durations must be positive")
+    if not 0 < false_alarm_target < 1:
+        raise ConfigurationError("false-alarm target must be in (0, 1)")
+    if margin_s < 0:
+        raise ConfigurationError("margin must be nonnegative")
+    quantile = float(np.quantile(durations, 1.0 - false_alarm_target))
+    timeout = quantile + margin_s
+    observed_false = float(np.mean(durations > timeout))
+    return WatchdogPolicy(
+        timeout_s=timeout,
+        false_alarm_probability=observed_false,
+        mean_detection_delay_s=timeout,
+    )
+
+
+def compare_policies(
+    run_durations_s: Sequence[float],
+    timeouts_s: Sequence[float],
+    runs_per_hour: float,
+    crashes_per_hour: float,
+    power_cycle_s: float = 120.0,
+) -> "list[tuple[float, float]]":
+    """Beam-cost curve over candidate timeouts: (timeout, cost/hour)."""
+    durations = np.asarray(list(run_durations_s), dtype=float)
+    if durations.size == 0:
+        raise ConfigurationError("need observed runs")
+    out = []
+    for timeout in timeouts_s:
+        if timeout <= 0:
+            raise ConfigurationError("timeouts must be positive")
+        policy = WatchdogPolicy(
+            timeout_s=float(timeout),
+            false_alarm_probability=float(np.mean(durations > timeout)),
+            mean_detection_delay_s=float(timeout),
+        )
+        out.append(
+            (
+                float(timeout),
+                policy.beam_cost_per_hour_s(
+                    runs_per_hour, crashes_per_hour, power_cycle_s
+                ),
+            )
+        )
+    return out

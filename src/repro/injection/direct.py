@@ -1,0 +1,129 @@
+"""Concrete fault injection into live workload data.
+
+The statistical models above reproduce the *rates* of the beam
+campaign; this module reproduces its *mechanism* end-to-end for a
+single fault: flip a real bit in a real numpy array of a running
+kernel, execute the kernel, and classify the outcome by comparing
+against the golden reference -- precisely the SDC-detection procedure
+of Section 3.6.
+
+Masking emerges naturally: flips in the mantissa tail of a value that
+is later overwritten, or in a key that never affects the probe set,
+change nothing; flips in high exponent bits blow the output up or NaN
+it; index-array flips can crash the kernel outright (our AppCrash
+analogue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import InjectionError
+from ..workloads.base import Workload, WorkloadResult
+from .events import OutcomeKind
+
+
+@dataclass(frozen=True)
+class DirectInjectionResult:
+    """Outcome of one concrete injected fault.
+
+    Attributes
+    ----------
+    outcome:
+        MASKED / SDC / APP_CRASH classification.
+    array_name:
+        State-dict key of the corrupted array.
+    byte_offset / bit:
+        Where the flip landed inside that array's buffer.
+    error:
+        The exception message when the kernel crashed.
+    """
+
+    outcome: OutcomeKind
+    array_name: str
+    byte_offset: int
+    bit: int
+    error: Optional[str] = None
+
+
+class DirectInjector:
+    """Flips real bits in a workload's state and classifies the outcome."""
+
+    def __init__(self, workload: Workload, rtol: float = 1e-10) -> None:
+        self.workload = workload
+        self.rtol = rtol
+        # Golden computed up front, in fault-free conditions.
+        self._golden: WorkloadResult = workload.golden()
+
+    def inject_one(self, rng: np.random.Generator) -> DirectInjectionResult:
+        """Build fresh state, flip one uniformly chosen bit, run, classify."""
+        state = self.workload.build_state()
+        names = [
+            k for k, v in state.items() if isinstance(v, np.ndarray) and v.nbytes
+        ]
+        if not names:
+            raise InjectionError("workload exposes no injectable arrays")
+        sizes = np.array([state[k].nbytes for k in names], dtype=float)
+        name = names[int(rng.choice(len(names), p=sizes / sizes.sum()))]
+        target = np.ascontiguousarray(state[name])
+        state[name] = target
+        byte_offset = int(rng.integers(0, target.nbytes))
+        bit = int(rng.integers(0, 8))
+        flat = target.view(np.uint8).reshape(-1)
+        flat[byte_offset] ^= np.uint8(1 << bit)
+
+        try:
+            # Corrupted operands legitimately overflow / produce NaN;
+            # those are data outcomes (classified below), not warnings.
+            with np.errstate(all="ignore"):
+                result = self.workload.run(state)
+        except Exception as exc:  # genuine kernel crash from corrupt state
+            return DirectInjectionResult(
+                outcome=OutcomeKind.APP_CRASH,
+                array_name=name,
+                byte_offset=byte_offset,
+                bit=bit,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        if not np.all(np.isfinite(result.verification)):
+            outcome = OutcomeKind.SDC
+        elif self._golden.matches(result, rtol=self.rtol):
+            outcome = OutcomeKind.MASKED
+        else:
+            outcome = OutcomeKind.SDC
+        return DirectInjectionResult(
+            outcome=outcome, array_name=name, byte_offset=byte_offset, bit=bit
+        )
+
+    def campaign(
+        self, injections: int, rng: np.random.Generator
+    ) -> Dict[OutcomeKind, int]:
+        """Run a whole direct-injection campaign; returns outcome counts."""
+        if injections < 0:
+            raise InjectionError("injection count must be nonnegative")
+        counts: Dict[OutcomeKind, int] = {
+            OutcomeKind.MASKED: 0,
+            OutcomeKind.SDC: 0,
+            OutcomeKind.APP_CRASH: 0,
+        }
+        for _ in range(injections):
+            result = self.inject_one(rng)
+            counts[result.outcome] = counts.get(result.outcome, 0) + 1
+        return counts
+
+    def masking_factor(self, injections: int, rng: np.random.Generator) -> float:
+        """Fraction of injected faults that were masked."""
+        counts = self.campaign(injections, rng)
+        total = sum(counts.values())
+        if total == 0:
+            raise InjectionError("no injections performed")
+        return counts[OutcomeKind.MASKED] / total
+
+    def results(
+        self, injections: int, rng: np.random.Generator
+    ) -> List[DirectInjectionResult]:
+        """Run a campaign keeping every individual result."""
+        return [self.inject_one(rng) for _ in range(injections)]

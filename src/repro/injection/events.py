@@ -1,0 +1,94 @@
+"""Event taxonomy of the study.
+
+Two event families exist (Section 2.1):
+
+* **memory upsets** -- bit flips in protected SRAM arrays, observed via
+  EDAC notifications (corrected or uncorrected); and
+* **software-level failures** -- the end-to-end abnormal behaviours:
+  silent data corruption (output mismatch, no indication), application
+  crash (program hang / abort, Linux alive), and system crash (board
+  unresponsive, needs power cycle).
+
+A bit upset may also be *masked*: logically dropped or overwritten
+before use, affecting nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+class OutcomeKind(enum.Enum):
+    """End-to-end classification of one radiation-induced event."""
+
+    #: The fault never reached the output.
+    MASKED = "Masked"
+    #: Output mismatch with no failure indication.
+    SDC = "SDC"
+    #: The program hung or aborted; the OS survived.
+    APP_CRASH = "AppCrash"
+    #: The machine became unresponsive or rebooted.
+    SYS_CRASH = "SysCrash"
+
+    @property
+    def is_failure(self) -> bool:
+        """True for the three abnormal behaviours counted in Table 2."""
+        return self is not OutcomeKind.MASKED
+
+
+#: The three failure categories, in the paper's display order (Fig. 8).
+FAILURE_KINDS = (OutcomeKind.APP_CRASH, OutcomeKind.SYS_CRASH, OutcomeKind.SDC)
+
+
+@dataclass(frozen=True)
+class UpsetEvent:
+    """One beam-induced SRAM upset, as seen at the array level.
+
+    Attributes
+    ----------
+    time_s:
+        Seconds since session start.
+    array:
+        Struck array instance name.
+    level:
+        Reporting cache level value (e.g. ``"L2 Cache"``).
+    bits:
+        Stored bits flipped in the affected word.
+    corrected:
+        Whether the protection machinery corrected (or transparently
+        invalidated+refetched) the word.
+    """
+
+    time_s: float
+    array: str
+    level: str
+    bits: int
+    corrected: bool
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One software-level failure.
+
+    Attributes
+    ----------
+    time_s:
+        Seconds since session start.
+    benchmark:
+        Benchmark running when the failure occurred.
+    kind:
+        SDC / AppCrash / SysCrash.
+    hw_notified:
+        For SDCs: whether a corrected-error notification accompanied
+        the output mismatch (the rare Fig. 12/13 cases); always False
+        for crashes.
+    """
+
+    time_s: float
+    benchmark: str
+    kind: OutcomeKind
+    hw_notified: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.kind.is_failure:
+            raise ValueError("FailureEvent must carry a failure kind")

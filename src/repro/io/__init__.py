@@ -1,0 +1,29 @@
+"""Persistence: save and reload campaign results.
+
+Beam time is the scarcest resource in a radiation study; the authors
+analyzed their console captures long after leaving TRIUMF.  This
+subpackage gives the reproduction the same workflow: serialize a
+:class:`~repro.harness.campaign.CampaignResult` to JSON right after the
+(simulated) campaign, then run any analysis later without re-flying it.
+
+* :mod:`repro.io.json_store` -- lossless JSON encoding of sessions,
+  events, EDAC records and fluence accounts.
+* :mod:`repro.io.results_dir` -- an on-disk results directory: the
+  campaign JSON plus one CSV per regenerated table/figure.
+"""
+
+from .json_store import (
+    campaign_to_dict,
+    campaign_from_dict,
+    save_campaign,
+    load_campaign,
+)
+from .results_dir import ResultsDirectory
+
+__all__ = [
+    "campaign_to_dict",
+    "campaign_from_dict",
+    "save_campaign",
+    "load_campaign",
+    "ResultsDirectory",
+]

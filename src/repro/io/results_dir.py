@@ -1,0 +1,100 @@
+"""On-disk results directory: campaign JSON + one CSV per artifact.
+
+``ResultsDirectory`` gives the reproduction the same artifact layout a
+real campaign leaves behind: the raw data (``campaign.json``), the
+regenerated tables (``table2.csv`` ... ``fig13.csv``), and the session
+logcaptures (``<label>.dmesg``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from ..core.report import Table, write_csv
+from ..errors import AnalysisError
+from ..harness.campaign import CampaignResult
+from .json_store import load_campaign, save_campaign
+
+
+class ResultsDirectory:
+    """Manages one campaign's artifacts under a directory.
+
+    Parameters
+    ----------
+    root:
+        Directory path.  Created on first write.
+    """
+
+    CAMPAIGN_FILE = "campaign.json"
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self.root, name)
+
+    def _ensure_root(self) -> None:
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- campaign data ---------------------------------------------------------
+
+    def save_campaign(self, campaign: CampaignResult) -> str:
+        """Persist the raw campaign; returns the JSON path."""
+        self._ensure_root()
+        path = self._path(self.CAMPAIGN_FILE)
+        save_campaign(campaign, path)
+        return path
+
+    def load_campaign(self) -> CampaignResult:
+        """Reload the raw campaign."""
+        path = self._path(self.CAMPAIGN_FILE)
+        if not os.path.exists(path):
+            raise AnalysisError(f"no campaign stored under {self.root!r}")
+        return load_campaign(path)
+
+    def has_campaign(self) -> bool:
+        """True if a campaign JSON exists."""
+        return os.path.exists(self._path(self.CAMPAIGN_FILE))
+
+    # -- tables ------------------------------------------------------------------
+
+    def save_table(self, name: str, table: Table) -> str:
+        """Persist one regenerated table as CSV; returns the path."""
+        self._ensure_root()
+        path = self._path(f"{name}.csv")
+        write_csv(table, path)
+        return path
+
+    def list_tables(self) -> List[str]:
+        """Names of the stored CSV artifacts."""
+        if not os.path.isdir(self.root):
+            return []
+        return sorted(
+            f[:-4] for f in os.listdir(self.root) if f.endswith(".csv")
+        )
+
+    # -- logs ----------------------------------------------------------------------
+
+    def save_dmesg(self, campaign: CampaignResult) -> Dict[str, str]:
+        """Persist each session's EDAC archive as a .dmesg file."""
+        self._ensure_root()
+        paths = {}
+        for label, session in campaign.sessions.items():
+            path = self._path(f"{label}.dmesg")
+            with open(path, "w") as handle:
+                handle.write(session.edac.to_dmesg())
+            paths[label] = path
+        return paths
+
+    def export_all(
+        self,
+        campaign: CampaignResult,
+        tables: Optional[Dict[str, Table]] = None,
+    ) -> List[str]:
+        """One-call export: campaign JSON + dmesg logs + given tables."""
+        written = [self.save_campaign(campaign)]
+        written.extend(self.save_dmesg(campaign).values())
+        for name, table in (tables or {}).items():
+            written.append(self.save_table(name, table))
+        return written

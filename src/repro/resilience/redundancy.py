@@ -1,0 +1,111 @@
+"""Dual- and triple-modular redundant execution over workloads.
+
+The brute-force SDC answer: run the computation twice and compare
+(DMR: detects at 2x cost) or three times and vote (TMR: corrects at
+3x cost).  These wrappers operate on any :class:`repro.workloads.base.
+Workload`, optionally with a fault hook so coverage can be measured
+with real injected corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..workloads.base import Workload, WorkloadResult
+
+#: A hook mutating one replica's state before execution (fault model).
+FaultHook = Callable[[Dict[str, np.ndarray], int], None]
+
+
+@dataclass(frozen=True)
+class DmrResult:
+    """Outcome of a redundant execution.
+
+    Attributes
+    ----------
+    result:
+        The delivered result (majority under TMR; first replica under
+        DMR when the replicas agree).
+    detected:
+        Replicas disagreed.
+    corrected:
+        TMR only: a majority existed despite a disagreement.
+    replicas:
+        Number of replicas executed.
+    """
+
+    result: WorkloadResult
+    detected: bool
+    corrected: bool
+    replicas: int
+
+
+def _run_replica(
+    workload: Workload, replica: int, fault_hook: Optional[FaultHook]
+) -> WorkloadResult:
+    state = workload.build_state()
+    if fault_hook is not None:
+        fault_hook(state, replica)
+    return workload.run(state)
+
+
+def dmr_run(
+    workload: Workload,
+    fault_hook: Optional[FaultHook] = None,
+    rtol: float = 1e-12,
+) -> DmrResult:
+    """Run twice; a mismatch flags (but cannot correct) an error."""
+    first = _run_replica(workload, 0, fault_hook)
+    second = _run_replica(workload, 1, fault_hook)
+    agree = first.matches(second, rtol=rtol)
+    return DmrResult(
+        result=first,
+        detected=not agree,
+        corrected=False,
+        replicas=2,
+    )
+
+
+def tmr_run(
+    workload: Workload,
+    fault_hook: Optional[FaultHook] = None,
+    rtol: float = 1e-12,
+) -> DmrResult:
+    """Run three times; majority vote corrects a single faulty replica."""
+    replicas = [_run_replica(workload, i, fault_hook) for i in range(3)]
+    agreements = {
+        (i, j): replicas[i].matches(replicas[j], rtol=rtol)
+        for i in range(3)
+        for j in range(i + 1, 3)
+    }
+    if all(agreements.values()):
+        return DmrResult(
+            result=replicas[0], detected=False, corrected=False, replicas=3
+        )
+    # Find a majority pair.
+    for (i, j), agree in agreements.items():
+        if agree:
+            return DmrResult(
+                result=replicas[i], detected=True, corrected=True, replicas=3
+            )
+    # Three-way disagreement: detected but uncorrectable.
+    return DmrResult(
+        result=replicas[0], detected=True, corrected=False, replicas=3
+    )
+
+
+def redundancy_energy_overhead(replicas: int) -> float:
+    """Fractional energy overhead of N-modular redundancy.
+
+    (N - 1) extra executions; the comparison/vote is negligible.  The
+    context that matters here: DMR's 100 % costs far more than the
+    ~11 % power undervolting saves -- redundancy as an SDC answer can
+    erase the entire energy benefit (the introduction's warning).
+    """
+    if replicas < 1:
+        raise AnalysisError("need at least one replica")
+    return float(replicas - 1)

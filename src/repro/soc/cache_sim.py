@@ -1,0 +1,204 @@
+"""Set-associative cache-hierarchy simulator.
+
+The calibration profiles (:mod:`repro.workloads.profiles`) assert each
+benchmark's cache occupancy and read-recurrence; this simulator lets
+those numbers be *derived* instead of asserted: replay a benchmark-like
+address trace through the X-Gene 2's actual hierarchy (32 KB 2-way L1D,
+256 KB 8-way shared L2, 8 MB 16-way L3, 64 B lines) and measure
+
+* **occupancy** -- the fraction of each cache's lines holding live data
+  at the end of the trace, and
+* **read recurrence** -- the probability that a resident line is read
+  again before being evicted or overwritten,
+
+which are exactly the two factors that decide whether a beam-induced
+upset in the array is ever *detected* (Section 3.5's masking argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one set-associative cache.
+
+    Attributes
+    ----------
+    name:
+        Label, e.g. ``"l1d"``.
+    capacity_bytes / ways / line_bytes:
+        Standard set-associative parameters; sets are derived.
+    """
+
+    name: str
+    capacity_bytes: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise GeometryError(f"{self.name}: parameters must be positive")
+        if self.capacity_bytes % (self.ways * self.line_bytes):
+            raise GeometryError(
+                f"{self.name}: capacity not divisible into "
+                f"{self.ways}-way sets of {self.line_bytes}-byte lines"
+            )
+
+    @property
+    def sets(self) -> int:
+        """Number of sets."""
+        return self.capacity_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def lines(self) -> int:
+        """Total line frames."""
+        return self.sets * self.ways
+
+
+#: The X-Gene 2 data-side hierarchy (Table 1 capacities; typical
+#: associativities for a Cortex-A72-class design).
+XGENE2_L1D = CacheConfig("l1d", 32 * 1024, ways=2)
+XGENE2_L2 = CacheConfig("l2", 256 * 1024, ways=8)
+XGENE2_L3 = CacheConfig("l3", 8 * 1024 * 1024, ways=16)
+
+
+@dataclass
+class CacheStats:
+    """Counters collected while replaying a trace."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: Lines that were re-read at least once while resident.
+    reused_fills: int = 0
+    #: Lines ever filled.
+    fills: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses (0 when idle)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def reuse_probability(self) -> float:
+        """P(a filled line is read again before leaving the cache)."""
+        return self.reused_fills / self.fills if self.fills else 0.0
+
+
+class SetAssociativeCache:
+    """One LRU set-associative cache with residency bookkeeping."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        # Per set: list of (tag, reused_flag), most recent last.
+        self._sets: List[List[List]] = [[] for _ in range(config.sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, line_addr: int):
+        set_idx = line_addr % self.config.sets
+        tag = line_addr // self.config.sets
+        return set_idx, tag
+
+    def access(self, line_addr: int) -> bool:
+        """Access one line address; returns True on hit."""
+        set_idx, tag = self._locate(line_addr)
+        ways = self._sets[set_idx]
+        self.stats.accesses += 1
+        for i, entry in enumerate(ways):
+            if entry[0] == tag:
+                self.stats.hits += 1
+                if not entry[1]:
+                    entry[1] = True
+                    self.stats.reused_fills += 1
+                ways.append(ways.pop(i))  # LRU: move to MRU
+                return True
+        # Miss: fill, evicting LRU if the set is full.
+        self.stats.misses += 1
+        self.stats.fills += 1
+        if len(ways) >= self.config.ways:
+            ways.pop(0)
+            self.stats.evictions += 1
+        ways.append([tag, False])
+        return False
+
+    @property
+    def resident_lines(self) -> int:
+        """Line frames currently holding data."""
+        return sum(len(ways) for ways in self._sets)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the cache's frames holding live lines."""
+        return self.resident_lines / self.config.lines
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache({self.config.name!r}, "
+            f"occupancy={self.occupancy:.2f}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )
+
+
+@dataclass
+class HierarchyReport:
+    """Per-level measurements from one trace replay."""
+
+    occupancy: Dict[str, float]
+    reuse_probability: Dict[str, float]
+    hit_rate: Dict[str, float]
+
+
+class CacheHierarchy:
+    """Three-level (non-inclusive) hierarchy replaying one address trace.
+
+    Misses flow downward: an access missing the L1 probes the L2, then
+    the L3; every probed level fills on its own miss.
+    """
+
+    def __init__(
+        self,
+        l1: CacheConfig = XGENE2_L1D,
+        l2: CacheConfig = XGENE2_L2,
+        l3: CacheConfig = XGENE2_L3,
+    ) -> None:
+        self.levels = [
+            SetAssociativeCache(l1),
+            SetAssociativeCache(l2),
+            SetAssociativeCache(l3),
+        ]
+
+    def access(self, byte_addr: int) -> str:
+        """Access one byte address; returns the hit level name or "mem"."""
+        line_addr = byte_addr // self.levels[0].config.line_bytes
+        for level in self.levels:
+            if level.access(line_addr):
+                return level.config.name
+        return "mem"
+
+    def replay(self, trace: np.ndarray) -> HierarchyReport:
+        """Replay a byte-address trace; returns per-level measurements."""
+        for addr in trace:
+            self.access(int(addr))
+        return self.report()
+
+    def report(self) -> HierarchyReport:
+        """Snapshot the per-level measurements."""
+        return HierarchyReport(
+            occupancy={
+                c.config.name: c.occupancy for c in self.levels
+            },
+            reuse_probability={
+                c.config.name: c.stats.reuse_probability for c in self.levels
+            },
+            hit_rate={
+                c.config.name: c.stats.hit_rate for c in self.levels
+            },
+        )

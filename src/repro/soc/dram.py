@@ -1,0 +1,153 @@
+"""DRAM retention/refresh model for the SoC domain.
+
+The X-Gene 2's SoC domain carries four DDR3-1866 controllers, and the
+SLIMpro explicitly exposes the DRAM *refresh rate* as a management knob
+(Section 3.1) -- because refresh is the memory-side analogue of the
+voltage guardband: JEDEC's 64 ms interval is as pessimistic for typical
+cells as the nominal voltage is for typical chips.  Stretching refresh
+saves power but exposes the weak-cell retention tail; this module
+quantifies that trade with the standard lognormal retention-time model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy import stats
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """One DDR3 channel of the platform.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Channel capacity.
+    data_rate_mtps:
+        Transfer rate (DDR3-1866 -> 1866 MT/s).
+    refresh_interval_ms:
+        tREFW, the rolling window within which every row is refreshed
+        (JEDEC: 64 ms below 85 degC).
+    """
+
+    capacity_bytes: int = 8 * 1024 ** 3
+    data_rate_mtps: int = 1866
+    refresh_interval_ms: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.data_rate_mtps <= 0:
+            raise ConfigurationError("capacity and data rate must be positive")
+        if self.refresh_interval_ms <= 0:
+            raise ConfigurationError("refresh interval must be positive")
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Lognormal cell retention-time distribution.
+
+    Attributes
+    ----------
+    median_retention_s:
+        Median cell retention time at the reference temperature
+        (seconds; tens of seconds is typical for DDR3 at 45 degC).
+    sigma_log:
+        Lognormal shape parameter (the weak-cell tail width).
+    temperature_halving_c:
+        Retention halves for every this-many degC of temperature rise
+        (the classic ~10 degC rule).
+    reference_temp_c:
+        Temperature the median is quoted at.
+    """
+
+    median_retention_s: float = 30.0
+    sigma_log: float = 1.1
+    temperature_halving_c: float = 10.0
+    reference_temp_c: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.median_retention_s <= 0 or self.sigma_log <= 0:
+            raise ConfigurationError("retention parameters must be positive")
+        if self.temperature_halving_c <= 0:
+            raise ConfigurationError("halving constant must be positive")
+
+    def median_at(self, temperature_c: float) -> float:
+        """Median retention at a die temperature (Arrhenius-like halving)."""
+        delta = temperature_c - self.reference_temp_c
+        return self.median_retention_s * 2.0 ** (
+            -delta / self.temperature_halving_c
+        )
+
+    def cell_failure_probability(
+        self, refresh_interval_s: float, temperature_c: float = 45.0
+    ) -> float:
+        """P(one cell's retention time < the refresh interval)."""
+        if refresh_interval_s <= 0:
+            raise ConfigurationError("refresh interval must be positive")
+        median = self.median_at(temperature_c)
+        z = math.log(refresh_interval_s / median) / self.sigma_log
+        return float(stats.norm.cdf(z))
+
+    def expected_failing_cells(
+        self,
+        bits: int,
+        refresh_interval_s: float,
+        temperature_c: float = 45.0,
+    ) -> float:
+        """Expected weak cells over *bits* at a refresh interval."""
+        if bits <= 0:
+            raise ConfigurationError("bit count must be positive")
+        return bits * self.cell_failure_probability(
+            refresh_interval_s, temperature_c
+        )
+
+    def max_refresh_interval_s(
+        self,
+        bits: int,
+        temperature_c: float = 45.0,
+        expected_failures_budget: float = 0.1,
+    ) -> float:
+        """Longest refresh interval within a weak-cell budget."""
+        if expected_failures_budget <= 0:
+            raise ConfigurationError("failure budget must be positive")
+        target_p = expected_failures_budget / bits
+        if target_p >= 1.0:
+            return float("inf")
+        z = stats.norm.ppf(target_p)
+        return float(
+            self.median_at(temperature_c) * math.exp(z * self.sigma_log)
+        )
+
+
+@dataclass(frozen=True)
+class RefreshPowerModel:
+    """Refresh energy accounting for one channel.
+
+    Attributes
+    ----------
+    energy_per_refresh_j:
+        Energy of refreshing the whole device once (all rows).
+    """
+
+    energy_per_refresh_j: float = 0.012
+
+    def __post_init__(self) -> None:
+        if self.energy_per_refresh_j <= 0:
+            raise ConfigurationError("refresh energy must be positive")
+
+    def refresh_power_w(self, refresh_interval_s: float) -> float:
+        """Average refresh power at an interval."""
+        if refresh_interval_s <= 0:
+            raise ConfigurationError("refresh interval must be positive")
+        return self.energy_per_refresh_j / refresh_interval_s
+
+    def savings_w(
+        self, baseline_interval_s: float, stretched_interval_s: float
+    ) -> float:
+        """Power saved by stretching the refresh interval."""
+        return self.refresh_power_w(baseline_interval_s) - self.refresh_power_w(
+            stretched_interval_s
+        )

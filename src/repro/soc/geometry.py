@@ -1,0 +1,202 @@
+"""SRAM structure inventory of the X-Gene 2 (paper Table 1).
+
+Each entry describes one protected SRAM structure: its capacity, its
+protection scheme, the voltage domain feeding it, and its column
+interleaving.  :func:`xgene2_structures` expands the per-core /
+per-pair structures into the full list of 8-core chip arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from .. import constants
+from ..errors import GeometryError
+from ..sram.array import ArrayGeometry
+from ..sram.protection import Codec, ParityCodec, SecdedCodec
+
+
+class CacheLevel(enum.Enum):
+    """Reporting granularity used by the paper's EDAC figures (Figs. 6-7)."""
+
+    TLB = "TLBs"
+    L1 = "L1 Cache"
+    L2 = "L2 Cache"
+    L3 = "L3 Cache"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Protection(enum.Enum):
+    """Protection scheme of a structure (Table 1)."""
+
+    PARITY = "parity"
+    SECDED = "secded"
+
+
+@dataclass(frozen=True)
+class StructureSpec:
+    """Specification of one physical SRAM structure instance.
+
+    Attributes
+    ----------
+    name:
+        Unique instance name, e.g. ``"core3.l1d"`` or ``"pair1.l2"``.
+    level:
+        The paper's reporting level (TLB / L1 / L2 / L3).
+    capacity_bits:
+        Data capacity in bits.
+    protection:
+        Parity or SECDED.
+    domain:
+        ``"pmd"`` for core-side structures, ``"soc"`` for the L3.
+    word_data_bits:
+        Data bits per protected word.
+    interleave:
+        Column interleaving factor (1 = none; the L3 per [20]).
+    """
+
+    name: str
+    level: CacheLevel
+    capacity_bits: int
+    protection: Protection
+    domain: str
+    word_data_bits: int
+    interleave: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bits % self.word_data_bits:
+            raise GeometryError(
+                f"{self.name}: {self.capacity_bits} bits not divisible into "
+                f"{self.word_data_bits}-bit words"
+            )
+
+    @property
+    def words(self) -> int:
+        """Number of protected words in the structure."""
+        return self.capacity_bits // self.word_data_bits
+
+    def make_codec(self) -> Codec:
+        """Instantiate the structure's protection codec."""
+        if self.protection is Protection.PARITY:
+            return ParityCodec(self.word_data_bits)
+        return SecdedCodec(self.word_data_bits)
+
+    def make_geometry(self) -> ArrayGeometry:
+        """Instantiate the structure's array geometry."""
+        return ArrayGeometry(
+            name=self.name,
+            words=self.words,
+            data_bits=self.word_data_bits,
+            interleave=self.interleave,
+        )
+
+
+#: Bits per TLB entry (tag + PTE payload), a representative Armv8 value.
+TLB_ENTRY_BITS = 64
+
+#: Data bits per protected word in the parity-protected L1 arrays.
+L1_WORD_BITS = 32
+
+#: Data bits per SECDED word in L2/L3 ("corrects one SBU per 64-bit word").
+ECC_WORD_BITS = 64
+
+
+def xgene2_structures() -> List[StructureSpec]:
+    """The full SRAM structure inventory of the 8-core chip.
+
+    Expands Table 1: per-core L1I/L1D/ITLB/DTLB/L2-TLB, per-pair unified
+    L2, and the shared L3 in the SoC domain.
+    """
+    specs: List[StructureSpec] = []
+    for core in range(constants.NUM_CORES):
+        specs.append(
+            StructureSpec(
+                name=f"core{core}.l1i",
+                level=CacheLevel.L1,
+                capacity_bits=constants.L1I_BYTES * 8,
+                protection=Protection.PARITY,
+                domain="pmd",
+                word_data_bits=L1_WORD_BITS,
+                interleave=4,
+            )
+        )
+        specs.append(
+            StructureSpec(
+                name=f"core{core}.l1d",
+                level=CacheLevel.L1,
+                capacity_bits=constants.L1D_BYTES * 8,
+                protection=Protection.PARITY,
+                domain="pmd",
+                word_data_bits=L1_WORD_BITS,
+                interleave=4,
+            )
+        )
+        specs.append(
+            StructureSpec(
+                name=f"core{core}.itlb",
+                level=CacheLevel.TLB,
+                capacity_bits=constants.ITLB_ENTRIES * TLB_ENTRY_BITS,
+                protection=Protection.PARITY,
+                domain="pmd",
+                word_data_bits=TLB_ENTRY_BITS,
+                interleave=1,
+            )
+        )
+        specs.append(
+            StructureSpec(
+                name=f"core{core}.dtlb",
+                level=CacheLevel.TLB,
+                capacity_bits=constants.DTLB_ENTRIES * TLB_ENTRY_BITS,
+                protection=Protection.PARITY,
+                domain="pmd",
+                word_data_bits=TLB_ENTRY_BITS,
+                interleave=1,
+            )
+        )
+        specs.append(
+            StructureSpec(
+                name=f"core{core}.l2tlb",
+                level=CacheLevel.TLB,
+                capacity_bits=constants.L2TLB_ENTRIES * TLB_ENTRY_BITS,
+                protection=Protection.PARITY,
+                domain="pmd",
+                word_data_bits=TLB_ENTRY_BITS,
+                interleave=1,
+            )
+        )
+    for pair in range(constants.NUM_PAIRS):
+        specs.append(
+            StructureSpec(
+                name=f"pair{pair}.l2",
+                level=CacheLevel.L2,
+                capacity_bits=constants.L2_BYTES * 8,
+                protection=Protection.SECDED,
+                domain="pmd",
+                word_data_bits=ECC_WORD_BITS,
+                interleave=4,
+            )
+        )
+    specs.append(
+        StructureSpec(
+            name="soc.l3",
+            level=CacheLevel.L3,
+            capacity_bits=constants.L3_BYTES * 8,
+            protection=Protection.SECDED,
+            domain="soc",
+            # "large cache arrays with no memory interleaving schemes are
+            # more vulnerable to MBUs" -- the paper's explanation for the
+            # L3-only uncorrected errors (Section 4.3, citing [20]).
+            word_data_bits=ECC_WORD_BITS,
+            interleave=1,
+        )
+    )
+    return specs
+
+
+def total_capacity_bits(specs: List[StructureSpec]) -> int:
+    """Sum of data-bit capacity over a structure list."""
+    return sum(s.capacity_bits for s in specs)

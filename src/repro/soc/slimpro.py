@@ -1,0 +1,90 @@
+"""SLIMpro management-processor facade.
+
+The X-Gene 2 carries a Scalable Lightweight Intelligent Management
+processor that talks to system sensors over I2C, programs supply
+voltages and the DRAM refresh rate, and gathers health reports --
+including the cache soft-error events the study relies on (Section
+3.1).  This facade is the single point through which the test harness
+touches the chip, mirroring how the real experiments drove the board
+through SLIMpro drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+from .dvfs import DvfsController, OperatingPoint
+from .edac import EdacLog, EdacRecord
+from .power import PowerModel
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One environmental sample from the board sensors.
+
+    The experiments verified 40-45 degC die temperature at the beam room
+    and confirmed safe-Vmin stability up to 50 degC (Section 3.4).
+    """
+
+    temperature_c: float
+    power_watts: float
+
+
+class SlimPro:
+    """Management access to voltage, frequency, sensors and health data."""
+
+    #: Die temperature band observed during the irradiation (Section 3.4).
+    BEAM_ROOM_TEMP_RANGE_C = (40.0, 45.0)
+
+    def __init__(
+        self,
+        dvfs: DvfsController,
+        power_model: PowerModel,
+        edac_log: EdacLog,
+    ) -> None:
+        self._dvfs = dvfs
+        self._power = power_model
+        self._edac = edac_log
+        self._health_cursor = 0
+
+    # -- voltage / frequency --------------------------------------------------
+
+    def apply_operating_point(self, point: OperatingPoint) -> None:
+        """Program an explicit (frequency, voltages) setting."""
+        self._dvfs.apply(point)
+
+    def operating_point(self) -> OperatingPoint:
+        """Snapshot the chip's present setting."""
+        return self._dvfs.current_point()
+
+    # -- sensors ---------------------------------------------------------------
+
+    def read_sensors(self, activity: float = 1.0) -> SensorReading:
+        """Sample temperature and power at the current operating point."""
+        point = self._dvfs.current_point()
+        watts = self._power.total_watts(
+            point.pmd_mv, point.soc_mv, point.freq_mhz, activity=activity
+        )
+        lo, hi = self.BEAM_ROOM_TEMP_RANGE_C
+        # Temperature tracks dissipated power within the observed band.
+        full_power = self._power.total_watts(980, 950, 2400)
+        frac = min(watts / full_power, 1.0)
+        return SensorReading(
+            temperature_c=lo + (hi - lo) * frac, power_watts=watts
+        )
+
+    # -- health reports ----------------------------------------------------------
+
+    def poll_health(self) -> List[EdacRecord]:
+        """Return EDAC records logged since the previous poll."""
+        fresh = self._edac.records[self._health_cursor:]
+        self._health_cursor = len(self._edac)
+        return fresh
+
+    def reset_health_cursor(self) -> None:
+        """Forget the poll position (e.g. after a reboot clears the log)."""
+        if self._health_cursor < 0:
+            raise ConfigurationError("corrupt health cursor")
+        self._health_cursor = 0

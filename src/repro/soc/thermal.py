@@ -1,0 +1,83 @@
+"""First-order thermal model of the package.
+
+Section 3.4: "our experiments are performed in a temperature-aware
+manner, as we observed during the offline characterization that the
+safe Vmin was not affected up to 50 degC" -- and the beam-room die
+temperature was verified to sit at 40-45 degC.  This model supplies
+those checks: a lumped thermal-resistance steady state plus an RC
+transient, and the Vmin temperature-sensitivity guard.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Lumped-RC package thermal model.
+
+    Attributes
+    ----------
+    ambient_c:
+        Beam-room ambient temperature.
+    resistance_c_per_w:
+        Junction-to-ambient thermal resistance (degC/W).
+    time_constant_s:
+        RC time constant of the package + heatsink.
+    vmin_safe_limit_c:
+        Temperature up to which the characterized safe Vmin holds
+        (50 degC per the paper's offline characterization).
+    """
+
+    ambient_c: float = 24.0
+    resistance_c_per_w: float = 1.0
+    time_constant_s: float = 90.0
+    vmin_safe_limit_c: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.resistance_c_per_w <= 0 or self.time_constant_s <= 0:
+            raise ConfigurationError("thermal parameters must be positive")
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Die temperature after thermal settling at constant power."""
+        if power_w < 0:
+            raise ConfigurationError("power must be nonnegative")
+        return self.ambient_c + power_w * self.resistance_c_per_w
+
+    def transient_c(
+        self, power_w: float, elapsed_s: float, start_c: float = None
+    ) -> float:
+        """Die temperature *elapsed_s* after a power step."""
+        if elapsed_s < 0:
+            raise ConfigurationError("elapsed time must be nonnegative")
+        if start_c is None:
+            start_c = self.ambient_c
+        target = self.steady_state_c(power_w)
+        return target + (start_c - target) * math.exp(
+            -elapsed_s / self.time_constant_s
+        )
+
+    def settle_time_s(self, fraction: float = 0.99) -> float:
+        """Time to settle within *fraction* of a step's final value."""
+        if not 0 < fraction < 1:
+            raise ConfigurationError("fraction must be in (0, 1)")
+        return -self.time_constant_s * math.log(1.0 - fraction)
+
+    def vmin_holds(self, power_w: float) -> bool:
+        """Is the characterized safe Vmin valid at this power's steady state?
+
+        The paper's temperature-aware guard: the safe Vmin was verified
+        stable up to 50 degC; above that, re-characterization would be
+        required before trusting the voltage settings.
+        """
+        return self.steady_state_c(power_w) <= self.vmin_safe_limit_c
+
+    def beam_room_consistent(
+        self, power_w: float, lo_c: float = 40.0, hi_c: float = 45.0
+    ) -> bool:
+        """Does the model land in the measured 40-45 degC window?"""
+        return lo_c <= self.steady_state_c(power_w) <= hi_c

@@ -1,0 +1,141 @@
+"""Whole-chip assembly of the X-Gene 2 model.
+
+Wires together the structure inventory (:mod:`repro.soc.geometry`), the
+voltage domains, the DVFS controller, the EDAC log, the power model and
+the SLIMpro facade into a single object the beam/injection layers and
+the test harness operate on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from .. import constants
+from ..errors import ConfigurationError
+from ..sram.array import SramArray
+from .domains import (
+    make_pmd_domain,
+    make_soc_domain,
+    make_standby_domain,
+)
+from .dvfs import DvfsController, OperatingPoint
+from .edac import EdacLog
+from .geometry import CacheLevel, StructureSpec, xgene2_structures
+from .power import PowerModel
+from .slimpro import SlimPro
+
+
+class XGene2:
+    """The 8-core X-Gene 2 chip model.
+
+    Parameters
+    ----------
+    power_model:
+        Power model; defaults to the paper-calibrated fit.
+    structures:
+        Structure inventory override (tests use reduced inventories);
+        defaults to the full Table 1 expansion.
+    """
+
+    def __init__(
+        self,
+        power_model: PowerModel = None,
+        structures: List[StructureSpec] = None,
+    ) -> None:
+        self.pmd = make_pmd_domain()
+        self.soc = make_soc_domain()
+        self.standby = make_standby_domain()
+        self.dvfs = DvfsController(self.pmd, self.soc)
+        self.edac = EdacLog()
+        self.power_model = power_model or PowerModel.calibrated()
+        self.slimpro = SlimPro(self.dvfs, self.power_model, self.edac)
+
+        specs = structures if structures is not None else xgene2_structures()
+        self._specs: Dict[str, StructureSpec] = {}
+        self._arrays: Dict[str, SramArray] = {}
+        for spec in specs:
+            if spec.name in self._arrays:
+                raise ConfigurationError(f"duplicate structure {spec.name!r}")
+            self._specs[spec.name] = spec
+            self._arrays[spec.name] = SramArray(
+                geometry=spec.make_geometry(),
+                codec=spec.make_codec(),
+                domain=spec.domain,
+            )
+
+    # -- structure access ---------------------------------------------------------
+
+    def arrays(self) -> Iterator[SramArray]:
+        """Iterate over every SRAM array on the chip."""
+        return iter(self._arrays.values())
+
+    def array(self, name: str) -> SramArray:
+        """Look one array up by instance name."""
+        if name not in self._arrays:
+            raise ConfigurationError(f"no such structure: {name!r}")
+        return self._arrays[name]
+
+    def spec(self, name: str) -> StructureSpec:
+        """Look one structure spec up by instance name."""
+        if name not in self._specs:
+            raise ConfigurationError(f"no such structure: {name!r}")
+        return self._specs[name]
+
+    def specs(self) -> List[StructureSpec]:
+        """All structure specs on the chip."""
+        return list(self._specs.values())
+
+    def arrays_by_level(self, level: CacheLevel) -> List[SramArray]:
+        """All arrays reported at one cache level."""
+        return [
+            self._arrays[name]
+            for name, spec in self._specs.items()
+            if spec.level == level
+        ]
+
+    def level_of(self, array_name: str) -> CacheLevel:
+        """The reporting level of an array instance."""
+        return self.spec(array_name).level
+
+    # -- capacity -------------------------------------------------------------------
+
+    @property
+    def sram_data_bits(self) -> int:
+        """Total protected data bits over all arrays."""
+        return sum(spec.capacity_bits for spec in self._specs.values())
+
+    @property
+    def sram_stored_bits(self) -> int:
+        """Total stored bits (data + check), the beam's target area."""
+        return sum(a.stored_bits for a in self._arrays.values())
+
+    # -- electrical state ------------------------------------------------------------
+
+    def domain_voltage_mv(self, domain: str) -> int:
+        """Present voltage of a named domain ("pmd" / "soc")."""
+        return self.dvfs.domain_voltage_mv(domain)
+
+    def apply_operating_point(self, point: OperatingPoint) -> None:
+        """Pin the chip to an explicit setting."""
+        self.dvfs.apply(point)
+
+    def operating_point(self) -> OperatingPoint:
+        """Snapshot the chip's present setting."""
+        return self.dvfs.current_point()
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def power_cycle(self) -> None:
+        """Model a power cycle: all SRAM state and logs are lost."""
+        for array in self._arrays.values():
+            array.clear()
+        self.edac.clear()
+        self.slimpro.reset_health_cursor()
+
+    def __repr__(self) -> str:
+        point = self.operating_point()
+        return (
+            f"XGene2({constants.NUM_CORES} cores, "
+            f"{len(self._arrays)} SRAM arrays, "
+            f"{self.sram_data_bits // (8 * 1024 * 1024)} MiB SRAM, {point})"
+        )

@@ -1,0 +1,112 @@
+"""Critical-charge (Qcrit) model of a 6T SRAM bit cell.
+
+The charge a particle strike must deposit on a storage node to flip the
+cell -- the *critical charge* -- is, to first order, the product of the
+node capacitance and the supply voltage (paper Section 1, citing Chandra
+& Aitken [16]).  Lowering the supply voltage therefore lowers Qcrit
+linearly, and the upset probability for the atmospheric neutron spectrum
+rises roughly exponentially as Qcrit drops (the classic
+Hazucha-Svensson empirical relation).
+
+This module provides the per-cell physics; :mod:`repro.sram.cross_section`
+aggregates it into the per-bit cross-section used by the injectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import mv_to_volts
+
+
+@dataclass(frozen=True)
+class QcritModel:
+    """Voltage dependence of the critical charge of one bit cell.
+
+    Attributes
+    ----------
+    qcrit_nominal_fc:
+        Critical charge at the nominal supply voltage, in femtocoulombs.
+        ~1-2 fC is representative of 28 nm SRAM.
+    nominal_mv:
+        The nominal supply voltage in millivolts.
+    node_capacitance_ff:
+        Effective storage-node capacitance in femtofarads.  Used for the
+        linear Q = C*V scaling; derived from the nominal point if not
+        overridden.
+    """
+
+    qcrit_nominal_fc: float = 1.5
+    nominal_mv: float = 980.0
+
+    def __post_init__(self) -> None:
+        if self.qcrit_nominal_fc <= 0:
+            raise ConfigurationError("Qcrit must be positive")
+        if self.nominal_mv <= 0:
+            raise ConfigurationError("nominal voltage must be positive")
+
+    @property
+    def node_capacitance_ff(self) -> float:
+        """Effective node capacitance implied by the nominal point (fF)."""
+        return self.qcrit_nominal_fc / mv_to_volts(self.nominal_mv)
+
+    def qcrit_fc(self, supply_mv: float) -> float:
+        """Critical charge at *supply_mv*, in femtocoulombs.
+
+        Qcrit(V) = C_node * V: the linear proportionality between the
+        charge required to upset a node and the voltage level the paper
+        cites from [16].
+        """
+        if supply_mv <= 0:
+            raise ConfigurationError("supply voltage must be positive")
+        return self.node_capacitance_ff * mv_to_volts(supply_mv)
+
+    def qcrit_ratio(self, supply_mv: float) -> float:
+        """Qcrit(V) / Qcrit(V_nominal); < 1 below nominal."""
+        return self.qcrit_fc(supply_mv) / self.qcrit_nominal_fc
+
+
+@dataclass(frozen=True)
+class BitCell:
+    """One 6T SRAM bit cell with a Qcrit model and a collection-efficiency.
+
+    ``upset_probability`` evaluates the Hazucha-Svensson-style
+    exponential sensitivity: for a deposited charge Q_dep, the cell
+    flips iff Q_dep >= Qcrit(V).  For the atmospheric spectrum the
+    deposited-charge distribution is approximately exponential with
+    scale ``qs_fc`` (the charge-collection slope), giving
+
+        P(upset | strike) = exp(-Qcrit(V) / Qs).
+    """
+
+    qcrit: QcritModel = QcritModel()
+    qs_fc: float = 2.5  # charge-collection slope, femtocoulombs
+
+    def __post_init__(self) -> None:
+        if self.qs_fc <= 0:
+            raise ConfigurationError("charge-collection slope must be positive")
+
+    def upset_probability(self, supply_mv: float) -> float:
+        """Probability that a charge-depositing strike flips this cell."""
+        return float(np.exp(-self.qcrit.qcrit_fc(supply_mv) / self.qs_fc))
+
+    def sensitivity_ratio(self, supply_mv: float) -> float:
+        """Upset probability at *supply_mv* relative to nominal.
+
+        >1 below nominal voltage; this is the quantity the calibrated
+        cross-section model in :mod:`repro.sram.cross_section`
+        approximates with its exponential-in-undervolt form.
+        """
+        nominal = self.upset_probability(self.qcrit.nominal_mv)
+        return self.upset_probability(supply_mv) / nominal
+
+    def deposited_charge_fc(self, rng: np.random.Generator) -> float:
+        """Sample a deposited charge for one strike (exponential, fC)."""
+        return float(rng.exponential(self.qs_fc))
+
+    def strike_upsets(self, supply_mv: float, rng: np.random.Generator) -> bool:
+        """Monte-Carlo one strike: does the cell flip at *supply_mv*?"""
+        return self.deposited_charge_fc(rng) >= self.qcrit.qcrit_fc(supply_mv)

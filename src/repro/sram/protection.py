@@ -1,0 +1,302 @@
+"""Error-detection/correction codes used by the X-Gene 2 SRAM arrays.
+
+Two schemes appear on the platform (paper Table 1):
+
+* **Even parity** on the TLBs and the write-through L1 caches.  Parity
+  detects any odd number of bit flips; on detection the entry is
+  invalidated and refetched, so a detected parity error never corrupts
+  architectural state.
+* **SECDED(72,64)** Hamming code on the L2 and L3 caches: 64 data bits
+  plus 8 check bits per word.  Single-bit errors are corrected,
+  double-bit errors are detected ("uncorrected error"), and -- exactly
+  as Section 6.2 of the paper observes -- *triple*-bit errors can alias
+  to a single-bit syndrome and be silently miscorrected.
+
+The codecs below operate on real bit patterns so those behaviours
+(including the miscorrection pathology) emerge from the arithmetic
+rather than being postulated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ProtectionError
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of decoding a (possibly corrupted) codeword."""
+
+    #: No error detected; data returned as stored.
+    CLEAN = "clean"
+    #: A single-bit error was detected and corrected.
+    CORRECTED = "corrected"
+    #: An uncorrectable error was detected (e.g. SECDED double-bit).
+    DETECTED_UNCORRECTABLE = "detected_uncorrectable"
+    #: An error is present but the code cannot see it, or it was
+    #: miscorrected into different-but-"valid" data.  Only observable
+    #: by an oracle that knows the original data.
+    SILENT = "silent"
+
+
+@dataclass(frozen=True)
+class CodecResult:
+    """Result of a decode operation.
+
+    Attributes
+    ----------
+    status:
+        What the *hardware* believes happened (CLEAN / CORRECTED /
+        DETECTED_UNCORRECTABLE).  ``SILENT`` is assigned by
+        :meth:`Codec.classify`, which has oracle knowledge.
+    data:
+        The data word handed to the consumer after any correction.
+    """
+
+    status: DecodeStatus
+    data: int
+
+
+class Codec:
+    """Interface shared by the parity and SECDED codecs."""
+
+    #: Number of data bits per protected word.
+    data_bits: int
+    #: Number of check bits per protected word.
+    check_bits: int
+    #: True when a detected error triggers invalidate+refetch (the
+    #: write-through parity arrays): the consumer then sees correct
+    #: data despite the detection.  SECDED arrays hold dirty data, so
+    #: a detected-uncorrectable word really is lost.
+    refetch_on_detect: bool = False
+
+    @property
+    def word_bits(self) -> int:
+        """Total stored bits per word (data + check)."""
+        return self.data_bits + self.check_bits
+
+    def encode(self, data: int) -> int:
+        """Return the stored codeword for *data*."""
+        raise NotImplementedError
+
+    def decode(self, codeword: int) -> CodecResult:
+        """Decode a stored codeword, applying correction if possible."""
+        raise NotImplementedError
+
+    def classify(self, data: int, flip_mask: int) -> CodecResult:
+        """Oracle classification: encode *data*, apply *flip_mask*, decode.
+
+        Unlike :meth:`decode`, this knows the original data, so it can
+        distinguish a genuinely clean word from a silent corruption and
+        a true correction from a miscorrection.
+        """
+        self._check_data(data)
+        codeword = self.encode(data) ^ flip_mask
+        result = self.decode(codeword)
+        if result.status == DecodeStatus.DETECTED_UNCORRECTABLE:
+            return result
+        if result.data != data:
+            # The consumer gets wrong data with no (or a wrong) signal.
+            return CodecResult(DecodeStatus.SILENT, result.data)
+        if flip_mask and result.status == DecodeStatus.CLEAN:
+            # Flips cancelled out inside the check bits only -- treat the
+            # word as clean since the data survives intact.
+            return result
+        return result
+
+    def _check_data(self, data: int) -> None:
+        if data < 0 or data >> self.data_bits:
+            raise ProtectionError(
+                f"data word {data:#x} does not fit in {self.data_bits} bits"
+            )
+
+    def _check_codeword(self, codeword: int) -> None:
+        if codeword < 0 or codeword >> self.word_bits:
+            raise ProtectionError(
+                f"codeword {codeword:#x} does not fit in {self.word_bits} bits"
+            )
+
+
+class ParityCodec(Codec):
+    """Even parity over a data word: one check bit, detect-only.
+
+    Layout: bit ``data_bits`` (the MSB of the codeword) is the parity
+    bit; bits ``[0, data_bits)`` hold the data unchanged.
+    """
+
+    refetch_on_detect = True
+
+    def __init__(self, data_bits: int = 32) -> None:
+        if data_bits <= 0:
+            raise ProtectionError("parity codec needs at least 1 data bit")
+        self.data_bits = int(data_bits)
+        self.check_bits = 1
+
+    def encode(self, data: int) -> int:
+        self._check_data(data)
+        parity = _popcount(data) & 1
+        return data | (parity << self.data_bits)
+
+    def decode(self, codeword: int) -> CodecResult:
+        self._check_codeword(codeword)
+        data = codeword & ((1 << self.data_bits) - 1)
+        stored_parity = codeword >> self.data_bits
+        if (_popcount(data) & 1) != stored_parity:
+            # Parity mismatch: the entry is invalidated and refetched,
+            # so no corrupted data reaches the consumer.
+            return CodecResult(DecodeStatus.DETECTED_UNCORRECTABLE, data)
+        return CodecResult(DecodeStatus.CLEAN, data)
+
+    def __repr__(self) -> str:
+        return f"ParityCodec(data_bits={self.data_bits})"
+
+
+class SecdedCodec(Codec):
+    """Hamming SECDED code: ``k`` data bits, ``r`` check bits + overall parity.
+
+    The default is the classic (72,64) organization used by the X-Gene 2
+    L2/L3 caches (64 data bits, 8 check bits).  The construction is the
+    extended Hamming code: positions ``1..n`` carry data and Hamming
+    check bits (powers of two), plus one overall-parity bit at
+    position 0.
+
+    Decoding semantics:
+
+    * syndrome 0, overall parity OK          -> clean
+    * syndrome != 0, overall parity WRONG    -> single-bit error, corrected
+    * syndrome != 0, overall parity OK       -> double-bit error, detected
+    * syndrome 0, overall parity WRONG       -> flip of the parity bit
+      itself; data intact, counted as corrected
+    """
+
+    def __init__(self, data_bits: int = 64) -> None:
+        if data_bits <= 0:
+            raise ProtectionError("SECDED codec needs at least 1 data bit")
+        self.data_bits = int(data_bits)
+        hamming_checks = _hamming_check_count(self.data_bits)
+        self.check_bits = hamming_checks + 1  # + overall parity
+        self._hamming_checks = hamming_checks
+        # Precompute the mapping from codeword position (1-indexed,
+        # excluding the overall parity at position 0) to data bit index.
+        self._positions = _hamming_positions(self.data_bits, hamming_checks)
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode(self, data: int) -> int:
+        self._check_data(data)
+        n = self.data_bits + self._hamming_checks
+        # Place data bits in non-power-of-two positions.
+        word = [0] * (n + 1)  # 1-indexed
+        for pos, data_idx in self._positions.items():
+            word[pos] = (data >> data_idx) & 1
+        # Compute Hamming check bits.
+        for c in range(self._hamming_checks):
+            p = 1 << c
+            parity = 0
+            for pos in range(1, n + 1):
+                if pos & p and pos != p:
+                    parity ^= word[pos]
+            word[p] = parity
+        # Overall parity over positions 1..n.
+        overall = 0
+        for pos in range(1, n + 1):
+            overall ^= word[pos]
+        # Pack: bit 0 = overall parity, bits 1..n = word[1..n].
+        packed = overall
+        for pos in range(1, n + 1):
+            packed |= word[pos] << pos
+        return packed
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, codeword: int) -> CodecResult:
+        self._check_codeword(codeword)
+        n = self.data_bits + self._hamming_checks
+        bits = [(codeword >> pos) & 1 for pos in range(n + 1)]
+        syndrome = 0
+        for c in range(self._hamming_checks):
+            p = 1 << c
+            parity = 0
+            for pos in range(1, n + 1):
+                if pos & p:
+                    parity ^= bits[pos]
+            if parity:
+                syndrome |= p
+        overall = 0
+        for pos in range(0, n + 1):
+            overall ^= bits[pos]
+
+        if syndrome == 0 and overall == 0:
+            return CodecResult(DecodeStatus.CLEAN, self._extract(bits))
+        if syndrome != 0 and overall == 1:
+            # Single-bit error (as far as the code can tell): correct it.
+            if syndrome <= n:
+                bits[syndrome] ^= 1
+            # A syndrome beyond n is a multi-bit aliasing artifact; the
+            # hardware would still report "corrected" after flipping a
+            # phantom position, leaving the data corrupted (silent).
+            return CodecResult(DecodeStatus.CORRECTED, self._extract(bits))
+        if syndrome != 0 and overall == 0:
+            return CodecResult(
+                DecodeStatus.DETECTED_UNCORRECTABLE, self._extract(bits)
+            )
+        # syndrome == 0 and overall == 1: the overall parity bit itself
+        # flipped; data is intact.
+        return CodecResult(DecodeStatus.CORRECTED, self._extract(bits))
+
+    def _extract(self, bits: List[int]) -> int:
+        data = 0
+        for pos, data_idx in self._positions.items():
+            data |= bits[pos] << data_idx
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"SecdedCodec(data_bits={self.data_bits}, "
+            f"check_bits={self.check_bits})"
+        )
+
+
+def _popcount(value: int) -> int:
+    """Number of set bits in a nonnegative integer."""
+    return bin(value).count("1")
+
+
+def _hamming_check_count(data_bits: int) -> int:
+    """Minimum r with 2^r >= data_bits + r + 1."""
+    r = 0
+    while (1 << r) < data_bits + r + 1:
+        r += 1
+    return r
+
+
+def _hamming_positions(data_bits: int, check_bits: int) -> "dict[int, int]":
+    """Map codeword positions (1-indexed) to data-bit indices.
+
+    Power-of-two positions hold check bits; everything else holds data,
+    filled in increasing position order.
+    """
+    positions = {}
+    data_idx = 0
+    pos = 1
+    n = data_bits + check_bits
+    while data_idx < data_bits:
+        if pos > n:
+            raise ProtectionError("internal error building Hamming layout")
+        if pos & (pos - 1):  # not a power of two
+            positions[pos] = data_idx
+            data_idx += 1
+        pos += 1
+    return positions
+
+
+def flips_from_bit_indices(indices: Tuple[int, ...]) -> int:
+    """Build a flip mask from a tuple of bit indices."""
+    mask = 0
+    for idx in indices:
+        if idx < 0:
+            raise ProtectionError(f"negative bit index {idx}")
+        mask |= 1 << idx
+    return mask

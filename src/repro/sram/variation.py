@@ -1,0 +1,94 @@
+"""Random-dopant-fluctuation (RDF) process-variation model.
+
+Section 4.3 of the paper separates SRAM bit-cell failures into
+
+1. **persistent** bit failures that appear below a per-cell minimum
+   voltage -- caused by manufacturing variation (RDF), and
+2. **non-persistent** (transient) upsets from radiation.
+
+The per-cell failure voltage is modeled as a normal distribution; the
+fraction of cells failing at a supply voltage V is its CDF at V.  This
+is what limits how far a chip can be undervolted: the safe Vmin is the
+voltage at which the expected count of failing cells over the whole
+chip crosses below one (no faulty cell anywhere).  The same machinery
+drives the pfail(V) curves of Fig. 4 via :mod:`repro.harness.vmin`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProcessVariationModel:
+    """Per-cell minimum-operating-voltage distribution.
+
+    Attributes
+    ----------
+    mean_vfail_mv:
+        Mean of the per-cell failure voltage (mV).  Well below the safe
+        Vmin: the chip Vmin is set by the *tail* of this distribution.
+    sigma_vfail_mv:
+        Standard deviation of the per-cell failure voltage (mV).
+    cells:
+        Number of cells in the structure being assessed.
+    """
+
+    mean_vfail_mv: float = 620.0
+    sigma_vfail_mv: float = 38.0
+    cells: int = 80 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.sigma_vfail_mv <= 0:
+            raise ConfigurationError("sigma must be positive")
+        if self.cells < 1:
+            raise ConfigurationError("cell count must be >= 1")
+
+    def cell_fail_probability(self, supply_mv: float) -> float:
+        """Probability that one cell cannot hold data at *supply_mv*."""
+        if supply_mv <= 0:
+            raise ConfigurationError("supply voltage must be positive")
+        z = (supply_mv - self.mean_vfail_mv) / self.sigma_vfail_mv
+        return float(stats.norm.sf(z))
+
+    def expected_failing_cells(self, supply_mv: float) -> float:
+        """Expected number of persistently failing cells at *supply_mv*."""
+        return self.cells * self.cell_fail_probability(supply_mv)
+
+    def any_cell_fails_probability(self, supply_mv: float) -> float:
+        """Probability at least one of the cells fails (Poisson approx)."""
+        lam = self.expected_failing_cells(supply_mv)
+        return float(-np.expm1(-lam))
+
+    def safe_vmin_mv(self, target_fail_prob: float = 0.01, step_mv: int = 5) -> int:
+        """Lowest voltage (on the regulator grid) with a failure
+        probability below *target_fail_prob*.
+
+        Mirrors the offline characterization of Section 3.6: walk down
+        from a clearly safe voltage until the chip-level failure
+        probability crosses the target, then report the last safe step.
+        """
+        if not 0 < target_fail_prob < 1:
+            raise ConfigurationError("target probability must be in (0, 1)")
+        # Start from a voltage high enough to be safe with margin.
+        v = int(self.mean_vfail_mv + 10 * self.sigma_vfail_mv)
+        v -= v % step_mv
+        last_safe = v
+        while v > 0:
+            if self.any_cell_fails_probability(v) >= target_fail_prob:
+                return last_safe
+            last_safe = v
+            v -= step_mv
+        return last_safe
+
+    def sample_failing_cells(
+        self, supply_mv: float, rng: np.random.Generator
+    ) -> int:
+        """Sample the count of persistently failing cells (Poisson)."""
+        lam = self.expected_failing_cells(supply_mv)
+        return int(rng.poisson(lam))

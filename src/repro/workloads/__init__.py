@@ -1,0 +1,52 @@
+"""NAS-Parallel-Benchmark-style workloads (class A scaled for simulation).
+
+Six real kernels mirror the six NPB programs the paper runs (Section
+3.3): CG (conjugate gradient), EP (embarrassingly parallel), FT (3-D FFT
+PDE), IS (integer sort), LU (regular-sparse lower-upper solve), and MG
+(multigrid).  Every kernel produces a deterministic verification value;
+silent data corruptions are detected exactly as in the beam campaign --
+by comparing the output against a fault-free golden reference.
+
+:mod:`repro.workloads.profiles` carries the per-benchmark calibration
+data (cache occupancy, detection efficiency, activity) that couples the
+kernels to the injection model.
+"""
+
+from .base import Workload, WorkloadResult
+from .bt import BtWorkload
+from .cg import CgWorkload
+from .ep import EpWorkload
+from .ft import FtWorkload
+from .is_ import IsWorkload
+from .lu import LuWorkload
+from .mg import MgWorkload
+from .sp import SpWorkload
+from .profiles import WorkloadProfile, PROFILES, benchmark_rate_share
+from .suite import (
+    EXTENDED_SUITE_NAMES,
+    SUITE_NAMES,
+    make_extended_suite,
+    make_suite,
+    make_workload,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadResult",
+    "BtWorkload",
+    "CgWorkload",
+    "EpWorkload",
+    "FtWorkload",
+    "IsWorkload",
+    "LuWorkload",
+    "MgWorkload",
+    "SpWorkload",
+    "WorkloadProfile",
+    "PROFILES",
+    "benchmark_rate_share",
+    "EXTENDED_SUITE_NAMES",
+    "SUITE_NAMES",
+    "make_extended_suite",
+    "make_suite",
+    "make_workload",
+]

@@ -1,0 +1,121 @@
+"""BT: block-tridiagonal solver (extension benchmark).
+
+NPB BT solves the 3-D compressible Navier-Stokes equations with an
+approximate factorization whose core kernel is a *block-tridiagonal*
+solve with 5x5 blocks along every grid line of each dimension.  The
+paper's campaign used six of the eight NPB programs; BT and SP are
+provided as extensions so the workload substrate covers the full suite.
+
+This kernel keeps the computational heart: for every line of a 3-D
+grid, assemble a diagonally dominant block-tridiagonal system (5x5
+blocks from a seeded generator) and solve it with the block Thomas
+algorithm.  Verification is the vector of per-dimension solution
+checksums plus the final residual norm -- any corrupted block or RHS
+entry propagates into them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .base import Workload, WorkloadResult
+
+#: NPB BT's block size (the five conservation variables).
+BLOCK = 5
+
+
+class BtWorkload(Workload):
+    """NPB-BT-style block-tridiagonal benchmark."""
+
+    name = "BT"
+
+    #: Grid edge at scale=1.0 (lines of this length in each dimension).
+    BASE_EDGE = 12
+    #: Lines solved per dimension at scale=1.0.
+    BASE_LINES = 16
+
+    def _build_state(self) -> Dict[str, np.ndarray]:
+        rng = self._rng()
+        n = max(int(self.BASE_EDGE * self.scale), 4)
+        lines = max(int(self.BASE_LINES * self.scale), 2)
+        # Off-diagonal blocks A (sub) and C (super), diagonal B per cell,
+        # for `lines` independent systems per dimension, 3 dimensions.
+        shape = (3, lines, n, BLOCK, BLOCK)
+        sub = rng.uniform(-0.2, 0.2, size=shape)
+        sup = rng.uniform(-0.2, 0.2, size=shape)
+        diag = rng.uniform(-0.2, 0.2, size=shape)
+        # Diagonal dominance: B += (|A|+|C|+margin) I.
+        eye = np.eye(BLOCK)
+        dominance = (
+            np.abs(sub).sum(axis=-1, keepdims=True).max(axis=-2, keepdims=True)
+            + np.abs(sup).sum(axis=-1, keepdims=True).max(axis=-2, keepdims=True)
+            + 1.0
+        )
+        diag = diag + dominance * eye
+        rhs = rng.uniform(-1.0, 1.0, size=(3, lines, n, BLOCK))
+        return {"sub": sub, "sup": sup, "diag": diag, "rhs": rhs}
+
+    @staticmethod
+    def _solve_line(
+        sub: np.ndarray, diag: np.ndarray, sup: np.ndarray, rhs: np.ndarray
+    ) -> np.ndarray:
+        """Block Thomas algorithm for one line."""
+        n = diag.shape[0]
+        c_prime = np.empty_like(sup)
+        d_prime = np.empty_like(rhs)
+        pivot = np.linalg.inv(diag[0])
+        c_prime[0] = pivot @ sup[0]
+        d_prime[0] = pivot @ rhs[0]
+        for i in range(1, n):
+            denom = diag[i] - sub[i] @ c_prime[i - 1]
+            pivot = np.linalg.inv(denom)
+            c_prime[i] = pivot @ sup[i]
+            d_prime[i] = pivot @ (rhs[i] - sub[i] @ d_prime[i - 1])
+        x = np.empty_like(rhs)
+        x[n - 1] = d_prime[n - 1]
+        for i in range(n - 2, -1, -1):
+            x[i] = d_prime[i] - c_prime[i] @ x[i + 1]
+        return x
+
+    @classmethod
+    def _residual_norm(cls, sub, diag, sup, rhs, x) -> float:
+        n = diag.shape[0]
+        residual = 0.0
+        for i in range(n):
+            r = rhs[i] - diag[i] @ x[i]
+            if i > 0:
+                r = r - sub[i] @ x[i - 1]
+            if i < n - 1:
+                r = r - sup[i] @ x[i + 1]
+            residual += float(r @ r)
+        return residual ** 0.5
+
+    def _compute(self, state: Dict[str, np.ndarray]) -> WorkloadResult:
+        sub, sup, diag, rhs = (
+            state["sub"], state["sup"], state["diag"], state["rhs"],
+        )
+        dims, lines, n = rhs.shape[0], rhs.shape[1], rhs.shape[2]
+        checksums = []
+        worst_residual = 0.0
+        for dim in range(dims):
+            dim_sum = 0.0
+            for line in range(lines):
+                x = self._solve_line(
+                    sub[dim, line], diag[dim, line], sup[dim, line],
+                    rhs[dim, line],
+                )
+                dim_sum += float(x.sum())
+                worst_residual = max(
+                    worst_residual,
+                    self._residual_norm(
+                        sub[dim, line], diag[dim, line], sup[dim, line],
+                        rhs[dim, line], x,
+                    ),
+                )
+            checksums.append(dim_sum)
+        verification = np.array(checksums + [worst_residual])
+        return WorkloadResult(
+            name=self.name, verification=verification, iterations=dims * lines
+        )

@@ -1,0 +1,90 @@
+"""CG: conjugate-gradient estimation of a sparse eigenvalue.
+
+Follows the structure of NPB CG: build a random sparse symmetric
+positive-definite matrix, then run outer inverse-power iterations, each
+solving ``A z = x`` with the conjugate-gradient method and updating the
+eigenvalue estimate ``zeta = lambda + 1 / (x . z)``.  The verification
+value is the final zeta together with the final residual norm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .base import Workload, WorkloadResult
+
+
+class CgWorkload(Workload):
+    """NPB-CG-style conjugate-gradient benchmark."""
+
+    name = "CG"
+
+    #: Base problem size at scale=1.0 (matrix order).
+    BASE_N = 700
+    #: Nonzeros per row of the sparse matrix.
+    NONZEROS_PER_ROW = 12
+    #: Outer (inverse power) iterations.
+    OUTER_ITERS = 4
+    #: Inner CG iterations per outer step.
+    INNER_ITERS = 25
+    #: The NPB-style diagonal shift.
+    LAMBDA_SHIFT = 20.0
+
+    def _build_state(self) -> Dict[str, np.ndarray]:
+        rng = self._rng()
+        n = max(int(self.BASE_N * self.scale), 16)
+        k = min(self.NONZEROS_PER_ROW, n)
+        # Random sparse symmetric matrix, stored dense-banded as
+        # (indices, values) per row, plus a dominant diagonal for SPD.
+        cols = np.empty((n, k), dtype=np.int64)
+        vals = np.empty((n, k), dtype=np.float64)
+        for i in range(n):
+            cols[i] = rng.choice(n, size=k, replace=False)
+            vals[i] = rng.uniform(-1.0, 1.0, size=k)
+        diag = np.full(n, float(k) + self.LAMBDA_SHIFT)
+        x = np.ones(n, dtype=np.float64)
+        return {"cols": cols, "vals": vals, "diag": diag, "x": x}
+
+    @staticmethod
+    def _matvec(
+        cols: np.ndarray, vals: np.ndarray, diag: np.ndarray, v: np.ndarray
+    ) -> np.ndarray:
+        """y = (S + S^T)/2-symmetrized sparse matvec plus diagonal."""
+        y = (vals * v[cols]).sum(axis=1)
+        # Symmetrize by scattering the transpose contribution.
+        yt = np.zeros_like(v)
+        np.add.at(yt, cols.ravel(), (vals * v[:, None]).ravel())
+        return 0.5 * (y + yt) + diag * v
+
+    def _compute(self, state: Dict[str, np.ndarray]) -> WorkloadResult:
+        cols, vals, diag = state["cols"], state["vals"], state["diag"]
+        x = state["x"].copy()
+        zeta = 0.0
+        final_rnorm = 0.0
+        for _ in range(self.OUTER_ITERS):
+            # CG solve of A z = x.
+            z = np.zeros_like(x)
+            r = x.copy()
+            p = r.copy()
+            rho = float(r @ r)
+            for _ in range(self.INNER_ITERS):
+                q = self._matvec(cols, vals, diag, p)
+                alpha = rho / float(p @ q)
+                z += alpha * p
+                r -= alpha * q
+                rho_new = float(r @ r)
+                beta = rho_new / rho
+                rho = rho_new
+                p = r + beta * p
+            final_rnorm = float(np.sqrt(rho))
+            denom = float(x @ z)
+            zeta = self.LAMBDA_SHIFT + 1.0 / denom
+            x = z / np.linalg.norm(z)
+        verification = np.array([zeta, final_rnorm, float(x @ x)])
+        return WorkloadResult(
+            name=self.name,
+            verification=verification,
+            iterations=self.OUTER_ITERS * self.INNER_ITERS,
+        )

@@ -1,0 +1,69 @@
+"""FT: 3-D FFT solution of a partial differential equation.
+
+NPB FT solves d u(x,t)/dt = alpha * nabla^2 u(x,t) spectrally: forward
+3-D FFT of the initial state, multiplication by the evolution factor
+exp(-4 alpha pi^2 |k|^2 t) per time step, inverse FFT, and a checksum
+over a strided subset of the result.  The verification value is the
+sequence of per-step checksums (real and imaginary parts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .base import Workload, WorkloadResult
+
+
+class FtWorkload(Workload):
+    """NPB-FT-style spectral PDE benchmark."""
+
+    name = "FT"
+
+    #: Grid edge at scale=1.0 (the kernel uses an n^3 grid).
+    BASE_EDGE = 32
+    #: Time steps (NPB class A uses 6).
+    STEPS = 6
+    #: Diffusion coefficient.  Chosen so the high-wavenumber modes decay
+    #: visibly within the 6 steps even on the smallest test grids (the
+    #: per-step checksums must evolve for golden comparison to bite).
+    ALPHA = 5.0e-4
+
+    def _build_state(self) -> Dict[str, np.ndarray]:
+        rng = self._rng()
+        n = max(int(self.BASE_EDGE * self.scale), 8)
+        u0 = rng.random((n, n, n)) + 1j * rng.random((n, n, n))
+        # Wavenumber magnitudes on the FFT grid.
+        k = np.fft.fftfreq(n) * n
+        k2 = (
+            k[:, None, None] ** 2
+            + k[None, :, None] ** 2
+            + k[None, None, :] ** 2
+        )
+        return {"u0": u0, "k2": k2}
+
+    def _compute(self, state: Dict[str, np.ndarray]) -> WorkloadResult:
+        u0, k2 = state["u0"], state["k2"]
+        n = u0.shape[0]
+        spectrum = np.fft.fftn(u0)
+        decay = np.exp(-4.0 * self.ALPHA * np.pi ** 2 * k2)
+        checksums = []
+        evolved = spectrum
+        for _ in range(self.STEPS):
+            evolved = evolved * decay
+            grid = np.fft.ifftn(evolved)
+            # NPB-style strided checksum.  The probe set must be a strict
+            # subset of the grid: a full uniform cover sums to the DC
+            # mode alone (which never decays) and the checksum would be
+            # constant across steps.
+            count = min(1024, max(n ** 3 // 2, 8))
+            idx = (np.arange(count) * 17) % (n ** 3)
+            flat = grid.reshape(-1)[idx]
+            checksums.append(complex(flat.sum()))
+        verification = np.array(
+            [part for c in checksums for part in (c.real, c.imag)]
+        )
+        return WorkloadResult(
+            name=self.name, verification=verification, iterations=self.STEPS
+        )

@@ -1,0 +1,72 @@
+"""IS: integer bucket-sort ranking.
+
+NPB IS generates keys with a Gaussian-ish distribution (sum of four
+uniforms), computes each key's rank with a counting sort, and verifies
+that ranking by checking partial ranks at pseudo-randomly chosen
+verification keys plus a full monotonicity test.  The verification
+value is the ranks of the canonical probe keys and a checksum of the
+rank array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .base import Workload, WorkloadResult
+
+
+class IsWorkload(Workload):
+    """NPB-IS-style counting-sort benchmark."""
+
+    name = "IS"
+
+    #: Keys at scale=1.0.
+    BASE_KEYS = 1 << 17
+    #: Key range (class-A IS uses 2^19 buckets at 2^23 keys; scaled).
+    BASE_RANGE = 1 << 14
+    #: Ranking repetitions (NPB runs 10 ranking iterations).
+    ITERATIONS = 10
+    #: Number of probe keys verified per iteration.
+    PROBES = 5
+
+    def _build_state(self) -> Dict[str, np.ndarray]:
+        rng = self._rng()
+        n = max(int(self.BASE_KEYS * self.scale), 1024)
+        key_range = max(int(self.BASE_RANGE * self.scale), 64)
+        # Sum of four uniforms: the NPB key distribution shape.
+        keys = (
+            rng.random((4, n)).sum(axis=0) / 4.0 * key_range
+        ).astype(np.int64)
+        probes = rng.integers(0, n, size=self.PROBES)
+        return {
+            "keys": keys,
+            "probes": probes,
+            "key_range": np.array([key_range]),
+        }
+
+    def _compute(self, state: Dict[str, np.ndarray]) -> WorkloadResult:
+        keys = state["keys"]
+        probes = state["probes"]
+        key_range = int(state["key_range"][0])
+        ranks = np.zeros_like(keys)
+        probe_ranks = []
+        for it in range(self.ITERATIONS):
+            # NPB perturbs two keys per iteration before re-ranking.
+            work = keys.copy()
+            work[it % len(work)] = it
+            work[(it * 31) % len(work)] = key_range - it - 1
+            counts = np.bincount(
+                np.clip(work, 0, key_range - 1), minlength=key_range
+            )
+            cumulative = np.cumsum(counts)
+            ranks = cumulative[np.clip(work, 0, key_range - 1)] - 1
+            probe_ranks.extend(int(ranks[p]) for p in probes)
+        checksum = float(ranks.astype(np.float64).sum())
+        verification = np.array(probe_ranks + [checksum], dtype=np.float64)
+        return WorkloadResult(
+            name=self.name,
+            verification=verification,
+            iterations=self.ITERATIONS,
+        )

@@ -1,0 +1,73 @@
+"""SP: scalar pentadiagonal solver (extension benchmark).
+
+NPB SP factorizes the same equations as BT into *scalar pentadiagonal*
+systems along each dimension.  The kernel here assembles diagonally
+dominant pentadiagonal systems over the lines of a 3-D grid and solves
+them with banded Gaussian elimination (``scipy.linalg.solve_banded``),
+which is exactly the reference algorithm's computational pattern.
+Verification: per-dimension solution checksums plus the worst residual.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+from scipy.linalg import solve_banded
+
+from .base import Workload, WorkloadResult
+
+
+class SpWorkload(Workload):
+    """NPB-SP-style scalar pentadiagonal benchmark."""
+
+    name = "SP"
+
+    #: Line length at scale=1.0.
+    BASE_EDGE = 64
+    #: Lines per dimension at scale=1.0.
+    BASE_LINES = 48
+
+    def _build_state(self) -> Dict[str, np.ndarray]:
+        rng = self._rng()
+        n = max(int(self.BASE_EDGE * self.scale), 8)
+        lines = max(int(self.BASE_LINES * self.scale), 2)
+        # Five bands per system: ab[band, row] layout per line.
+        bands = rng.uniform(-0.2, 0.2, size=(3, lines, 5, n))
+        # Diagonal dominance on the center band.
+        off_mass = np.abs(bands).sum(axis=2) - np.abs(bands[:, :, 2, :])
+        bands[:, :, 2, :] = off_mass + 1.0
+        rhs = rng.uniform(-1.0, 1.0, size=(3, lines, n))
+        return {"bands": bands, "rhs": rhs}
+
+    @staticmethod
+    def _residual_norm(ab: np.ndarray, rhs: np.ndarray, x: np.ndarray) -> float:
+        n = rhs.shape[0]
+        full = np.zeros((n, n))
+        for offset, band in zip((2, 1, 0, -1, -2), ab):
+            for i in range(n):
+                j = i - offset
+                if 0 <= j < n:
+                    full[j, i] = band[i]
+        return float(np.linalg.norm(rhs - full @ x))
+
+    def _compute(self, state: Dict[str, np.ndarray]) -> WorkloadResult:
+        bands, rhs = state["bands"], state["rhs"]
+        dims, lines = rhs.shape[0], rhs.shape[1]
+        checksums = []
+        worst_residual = 0.0
+        for dim in range(dims):
+            dim_sum = 0.0
+            for line in range(lines):
+                ab = bands[dim, line]
+                x = solve_banded((2, 2), ab, rhs[dim, line])
+                dim_sum += float(x.sum())
+                worst_residual = max(
+                    worst_residual,
+                    self._residual_norm(ab, rhs[dim, line], x),
+                )
+            checksums.append(dim_sum)
+        verification = np.array(checksums + [worst_residual])
+        return WorkloadResult(
+            name=self.name, verification=verification, iterations=dims * lines
+        )

@@ -1,0 +1,108 @@
+"""Synthetic benchmark address traces.
+
+Generates byte-address streams with each NPB kernel's memory
+personality -- working-set size, streaming-vs-reuse mix, and locality
+-- so the cache simulator (:mod:`repro.soc.cache_sim`) can *measure*
+the occupancy/recurrence numbers the calibration profiles assert.
+
+Three access archetypes compose every trace:
+
+* **sequential streams** (FT's transposes, IS's counting arrays):
+  unit-stride walks over large buffers;
+* **reuse sets** (CG's vectors, LU's wavefront): random draws from a
+  hot region small enough to cache;
+* **random scatter** (CG's sparse gathers, IS's bucket writes):
+  uniform references over the full working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+#: Memory personalities: working set (bytes) and the three-way access
+#: mix (stream, reuse, scatter) per benchmark.  Working sets follow the
+#: class-A footprints scaled to the simulated 8-core machine.
+TRACE_PERSONALITIES = {
+    "CG": {"working_set": 6 * 1024 * 1024, "mix": (0.15, 0.45, 0.40)},
+    "EP": {"working_set": 512 * 1024, "mix": (0.60, 0.35, 0.05)},
+    "FT": {"working_set": 12 * 1024 * 1024, "mix": (0.70, 0.20, 0.10)},
+    "IS": {"working_set": 9 * 1024 * 1024, "mix": (0.45, 0.15, 0.40)},
+    "LU": {"working_set": 8 * 1024 * 1024, "mix": (0.40, 0.45, 0.15)},
+    "MG": {"working_set": 10 * 1024 * 1024, "mix": (0.55, 0.30, 0.15)},
+}
+
+
+@dataclass(frozen=True)
+class TraceGenerator:
+    """Builds an address trace for one benchmark personality.
+
+    Attributes
+    ----------
+    benchmark:
+        One of the six studied kernels.
+    accesses:
+        Trace length.
+    hot_fraction:
+        Size of the reuse set relative to the working set.
+    """
+
+    benchmark: str
+    accesses: int = 60_000
+    hot_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.benchmark not in TRACE_PERSONALITIES:
+            raise WorkloadError(
+                f"no trace personality for {self.benchmark!r}"
+            )
+        if self.accesses <= 0:
+            raise WorkloadError("trace length must be positive")
+        if not 0 < self.hot_fraction <= 1:
+            raise WorkloadError("hot fraction must be in (0, 1]")
+
+    def generate(self, rng: np.random.Generator) -> np.ndarray:
+        """One byte-address trace with the benchmark's mix."""
+        personality = TRACE_PERSONALITIES[self.benchmark]
+        working_set = personality["working_set"]
+        stream_w, reuse_w, scatter_w = personality["mix"]
+        kinds = rng.choice(
+            3, size=self.accesses, p=[stream_w, reuse_w, scatter_w]
+        )
+        addresses = np.empty(self.accesses, dtype=np.int64)
+
+        # Sequential component: a unit-stride cursor over the buffer.
+        cursor = int(rng.integers(0, working_set))
+        hot_size = max(int(working_set * self.hot_fraction), 4096)
+        hot_base = int(rng.integers(0, max(working_set - hot_size, 1)))
+
+        stride = 8  # doubles
+        for i, kind in enumerate(kinds):
+            if kind == 0:
+                cursor = (cursor + stride) % working_set
+                addresses[i] = cursor
+            elif kind == 1:
+                addresses[i] = hot_base + int(rng.integers(0, hot_size))
+            else:
+                addresses[i] = int(rng.integers(0, working_set))
+        return addresses
+
+
+def measure_personality(
+    benchmark: str,
+    rng: np.random.Generator,
+    accesses: int = 60_000,
+):
+    """Replay a benchmark trace through the X-Gene 2 hierarchy.
+
+    Returns the :class:`~repro.soc.cache_sim.HierarchyReport` with the
+    measured per-level occupancy, reuse probability and hit rate.
+    """
+    from ..soc.cache_sim import CacheHierarchy
+
+    trace = TraceGenerator(benchmark, accesses=accesses).generate(rng)
+    hierarchy = CacheHierarchy()
+    return hierarchy.replay(trace)

@@ -1,0 +1,63 @@
+"""SRAM dosimeter and halo calibration procedure."""
+
+import numpy as np
+import pytest
+
+from repro.beam.dosimeter import SramDosimeter, calibrate_halo
+from repro.beam.facility import TnfBeam
+from repro.errors import BeamError
+
+
+class TestDosimeter:
+    def test_expected_rate_linear_in_flux(self):
+        d = SramDosimeter()
+        assert d.expected_seu_rate_per_s(2e6) == pytest.approx(
+            2 * d.expected_seu_rate_per_s(1e6)
+        )
+
+    def test_counting_statistics(self, rng):
+        d = SramDosimeter()
+        flux, exposure = 2.5e6, 600.0
+        lam = d.expected_seu_rate_per_s(flux) * exposure
+        counts = [d.measure_seu_count(flux, exposure, rng) for _ in range(200)]
+        assert np.mean(counts) == pytest.approx(lam, rel=0.05)
+
+    def test_zero_flux_zero_counts(self, rng):
+        d = SramDosimeter()
+        assert d.measure_seu_count(0.0, 600.0, rng) == 0
+
+    def test_validation(self, rng):
+        with pytest.raises(BeamError):
+            SramDosimeter(bits=0)
+        with pytest.raises(BeamError):
+            SramDosimeter(sigma_cm2_per_bit=0)
+        with pytest.raises(BeamError):
+            SramDosimeter().measure_seu_count(1e6, -1.0, rng)
+        with pytest.raises(BeamError):
+            SramDosimeter().expected_seu_rate_per_s(-1.0)
+
+
+class TestHaloCalibration:
+    def test_recovers_sixty_percent_attenuation(self, rng):
+        beam = TnfBeam()
+        calibration = calibrate_halo(
+            beam, SramDosimeter(), rng, halo_measurements=6, exposure_s=600.0
+        )
+        assert calibration.attenuation_mean == pytest.approx(0.60, abs=0.08)
+        assert calibration.attenuation_sigma < 0.1
+        assert len(calibration.halo_rates_per_s) == 6
+
+    def test_longer_exposure_tightens_estimate(self, rng):
+        beam = TnfBeam()
+        short = calibrate_halo(beam, SramDosimeter(), rng, exposure_s=30.0)
+        long = calibrate_halo(beam, SramDosimeter(), rng, exposure_s=3000.0)
+        # Positioning spread dominates eventually; statistical noise at
+        # 30 s should still make the short run at least as loose.
+        assert long.attenuation_sigma <= short.attenuation_sigma * 2.0
+
+    def test_validation(self, rng):
+        beam = TnfBeam()
+        with pytest.raises(BeamError):
+            calibrate_halo(beam, SramDosimeter(), rng, halo_measurements=1)
+        with pytest.raises(BeamError):
+            calibrate_halo(beam, SramDosimeter(), rng, exposure_s=0.0)

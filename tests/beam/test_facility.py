@@ -1,0 +1,61 @@
+"""TNF beam facility model."""
+
+import numpy as np
+import pytest
+
+from repro.beam.facility import TnfBeam
+from repro.beam.positioning import BeamPosition
+from repro.errors import BeamError
+
+
+class TestFluxRange:
+    def test_reference_current_range(self):
+        beam = TnfBeam(nominal_current_ua=100.0)
+        lo, hi = beam.center_flux_range()
+        assert lo == pytest.approx(2.0e6)
+        assert hi == pytest.approx(3.0e6)
+        assert beam.mean_center_flux() == pytest.approx(2.5e6)
+
+    def test_flux_scales_with_current(self):
+        beam = TnfBeam(nominal_current_ua=50.0)
+        assert beam.mean_center_flux() == pytest.approx(1.25e6)
+
+    def test_invalid_current_rejected(self):
+        with pytest.raises(BeamError):
+            TnfBeam(nominal_current_ua=0)
+
+
+class TestPlacement:
+    def test_mean_halo_flux_matches_paper(self):
+        beam = TnfBeam()
+        state = beam.place_dut(BeamPosition.HALO)
+        # (2+3)/2 x 0.6 x 1e6 = 1.5e6 n/cm^2/s (Section 3.4).
+        assert state.flux_at_dut_per_cm2_s == pytest.approx(1.5e6)
+
+    def test_center_placement_full_flux(self):
+        beam = TnfBeam()
+        state = beam.place_dut(BeamPosition.CENTER)
+        assert state.attenuation == 1.0
+        assert state.flux_at_dut_per_cm2_s == pytest.approx(2.5e6)
+
+    def test_random_placement_requires_rng(self):
+        beam = TnfBeam()
+        with pytest.raises(BeamError):
+            beam.place_dut(BeamPosition.HALO, mean_values=False)
+
+    def test_random_placement_varies(self):
+        beam = TnfBeam()
+        rng = np.random.default_rng(0)
+        fluxes = {
+            beam.place_dut(
+                BeamPosition.HALO, rng, mean_values=False
+            ).flux_at_dut_per_cm2_s
+            for _ in range(5)
+        }
+        assert len(fluxes) == 5
+
+    def test_sampled_flux_positive(self):
+        beam = TnfBeam()
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            assert beam.sample_center_flux(rng) > 0

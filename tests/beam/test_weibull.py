@@ -1,0 +1,109 @@
+"""Weibull cross-section curves."""
+
+import numpy as np
+import pytest
+
+from repro.beam.spectrum import NeutronSpectrum
+from repro.beam.weibull import WeibullCurve, fit_weibull, rate_in_spectrum
+from repro.errors import BeamError
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return WeibullCurve(
+        sigma_sat_cm2=1e-13, threshold=12.0, width=50.0, shape=1.8
+    )
+
+
+class TestCurve:
+    def test_zero_below_threshold(self, curve):
+        assert np.all(curve.sigma([0.0, 5.0, 12.0]) == 0.0)
+
+    def test_monotone_rise_to_saturation(self, curve):
+        x = np.linspace(12.0, 500.0, 50)
+        sigma = curve.sigma(x)
+        assert np.all(np.diff(sigma) >= 0)
+        assert sigma[-1] <= curve.sigma_sat_cm2
+        assert sigma[-1] > 0.99 * curve.sigma_sat_cm2
+
+    def test_onset_and_saturation_points(self, curve):
+        onset = curve.onset_x(0.1)
+        assert curve.sigma(onset) == pytest.approx(
+            0.1 * curve.sigma_sat_cm2, rel=1e-6
+        )
+        sat = curve.saturated_above(0.05)
+        assert curve.sigma(sat) == pytest.approx(
+            0.95 * curve.sigma_sat_cm2, rel=1e-6
+        )
+
+    def test_validation(self):
+        with pytest.raises(BeamError):
+            WeibullCurve(sigma_sat_cm2=0.0, threshold=1.0, width=1.0, shape=1.0)
+        with pytest.raises(BeamError):
+            WeibullCurve(sigma_sat_cm2=1e-13, threshold=-1.0, width=1.0, shape=1.0)
+        with pytest.raises(BeamError):
+            WeibullCurve(1e-13, 1.0, 0.0, 1.0)
+
+
+class TestFit:
+    def test_recovers_known_curve(self, curve):
+        x = np.array([15.0, 20.0, 30.0, 50.0, 80.0, 150.0, 300.0, 600.0])
+        sigma = curve.sigma(x)
+        fitted = fit_weibull(x, sigma)
+        check = np.linspace(15.0, 600.0, 40)
+        assert np.allclose(
+            fitted.sigma(check), curve.sigma(check),
+            rtol=0.05, atol=0.01 * curve.sigma_sat_cm2,
+        )
+
+    def test_fit_with_measurement_noise(self, curve):
+        rng = np.random.default_rng(2)
+        x = np.array([15.0, 20.0, 30.0, 50.0, 80.0, 150.0, 300.0, 600.0])
+        noisy = curve.sigma(x) * rng.normal(1.0, 0.05, size=x.size)
+        fitted = fit_weibull(x, np.clip(noisy, 0, None))
+        assert fitted.sigma_sat_cm2 == pytest.approx(
+            curve.sigma_sat_cm2, rel=0.2
+        )
+
+    def test_validation(self):
+        with pytest.raises(BeamError):
+            fit_weibull([1.0, 2.0], [1e-14, 2e-14])
+        with pytest.raises(BeamError):
+            fit_weibull([1, 2, 3, 4], [1e-14] * 3)
+        with pytest.raises(BeamError):
+            fit_weibull([1, 2, 3, 4], [1e-14, -1e-14, 1e-14, 1e-14])
+
+
+class TestRatePrediction:
+    def test_rate_positive_under_tnf_spectrum(self, curve):
+        spectrum = NeutronSpectrum()
+        energies = np.linspace(10.0, 1000.0, 400)
+        flux = spectrum.differential_flux(energies)
+        rate = rate_in_spectrum(curve, energies, flux)
+        assert rate > 0
+
+    def test_rate_scales_with_flux(self, curve):
+        energies = np.linspace(10.0, 1000.0, 200)
+        flux = NeutronSpectrum().differential_flux(energies)
+        single = rate_in_spectrum(curve, energies, flux)
+        double = rate_in_spectrum(curve, energies, 2 * flux)
+        assert double == pytest.approx(2 * single)
+
+    def test_higher_threshold_lower_rate(self):
+        energies = np.linspace(10.0, 1000.0, 200)
+        flux = NeutronSpectrum().differential_flux(energies)
+        soft = WeibullCurve(1e-13, 12.0, 50.0, 1.8)
+        hard = WeibullCurve(1e-13, 100.0, 50.0, 1.8)
+        assert rate_in_spectrum(hard, energies, flux) < rate_in_spectrum(
+            soft, energies, flux
+        )
+
+    def test_validation(self, curve):
+        with pytest.raises(BeamError):
+            rate_in_spectrum(curve, np.array([1.0]), np.array([1.0]))
+        with pytest.raises(BeamError):
+            rate_in_spectrum(
+                curve, np.array([2.0, 1.0]), np.array([1.0, 1.0])
+            )
+        with pytest.raises(BeamError):
+            rate_in_spectrum(curve, np.array([1.0, 2.0]), np.array([1.0]))

@@ -1,0 +1,27 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import RngStreams
+from repro.soc.xgene2 import XGene2
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def streams() -> RngStreams:
+    """A root stream factory with a fixed seed."""
+    return RngStreams(42)
+
+
+@pytest.fixture
+def chip() -> XGene2:
+    """A full X-Gene 2 chip model at nominal settings."""
+    return XGene2()

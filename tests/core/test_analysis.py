@@ -1,0 +1,101 @@
+"""Campaign analysis views."""
+
+import pytest
+
+from repro.core.analysis import CampaignAnalysis
+from repro.errors import AnalysisError
+from repro.harness.campaign import Campaign, CampaignResult
+from repro.injection.events import OutcomeKind
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    campaign = Campaign(seed=17, time_scale=0.15).run()
+    return CampaignAnalysis(campaign)
+
+
+class TestTable2:
+    def test_row_per_session(self, analysis):
+        table = analysis.table2()
+        assert len(table.rows) == 4
+        assert table.column("Voltage (mV)") == [980, 930, 920, 790]
+
+    def test_upset_rates_in_paper_band(self, analysis):
+        # Paper band is 1.01-1.18; sessions here fly at 15% length, so
+        # allow generous Poisson slack (session 4 sees only ~30 events).
+        rates = analysis.table2().column("Memory upsets rate (/min)")
+        for rate in rates:
+            assert 0.7 < rate < 1.6
+
+    def test_ser_in_paper_band(self, analysis):
+        sers = analysis.table2().column("Memory SER (FIT/Mbit)")
+        for ser in sers:
+            assert 1.4 < ser < 3.0
+
+
+class TestRates:
+    def test_upset_rate_with_interval(self, analysis):
+        rate = analysis.upset_rate("session1")
+        assert rate.interval.lower < rate.per_minute < rate.interval.upper
+
+    def test_benchmark_rates_cover_suite(self, analysis):
+        rates = analysis.benchmark_upset_rates("session1")
+        assert set(rates) == {"CG", "EP", "FT", "IS", "LU", "MG"}
+
+    def test_level_rates_keys(self, analysis):
+        rates = analysis.level_upset_rates("session1")
+        assert any(key.startswith("L3 Cache") for key in rates)
+        assert all("/" in key for key in rates)
+
+
+class TestFailureViews:
+    def test_mix_sums_to_hundred(self, analysis):
+        mix = analysis.failure_mix("session3")
+        assert sum(mix.values()) == pytest.approx(100.0)
+
+    def test_sdc_dominates_at_vmin(self, analysis):
+        mix = analysis.failure_mix("session3")
+        assert mix[OutcomeKind.SDC] > 70.0
+
+    def test_category_fit_sums_to_total(self, analysis):
+        total = analysis.total_fit("session3").fit
+        parts = sum(
+            analysis.category_fit("session3", kind).fit
+            for kind in (
+                OutcomeKind.APP_CRASH,
+                OutcomeKind.SYS_CRASH,
+                OutcomeKind.SDC,
+            )
+        )
+        assert parts == pytest.approx(total, rel=1e-9)
+
+    def test_sdc_fit_increase_large_at_vmin(self, analysis):
+        assert analysis.sdc_fit_increase("session3", "session1") > 4.0
+
+    def test_total_fit_increase(self, analysis):
+        assert analysis.total_fit_increase("session3", "session1") > 2.0
+
+    def test_notification_split_partitions_sdcs(self, analysis):
+        fits = analysis.sdc_fit_by_notification("session3")
+        total = analysis.category_fit("session3", OutcomeKind.SDC).fit
+        assert fits["without_notification"].fit + fits[
+            "with_notification"
+        ].fit == pytest.approx(total, rel=1e-9)
+
+    def test_without_notification_dominates(self, analysis):
+        fits = analysis.sdc_fit_by_notification("session3")
+        assert (
+            fits["without_notification"].fit > fits["with_notification"].fit
+        )
+
+
+class TestValidation:
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(AnalysisError):
+            CampaignAnalysis(CampaignResult())
+
+    def test_missing_sram_bits_rejected(self):
+        result = Campaign(seed=1, time_scale=0.002).run()
+        result.sram_bits = 0
+        with pytest.raises(AnalysisError):
+            CampaignAnalysis(result)

@@ -1,0 +1,61 @@
+"""Property tests: CSV export parses back to the same grid."""
+
+import csv
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.report import Table
+
+cells = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(
+        min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+    ),
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("L", "N"), max_codepoint=0x7F
+        ),
+        max_size=12,
+    ),
+)
+
+
+@st.composite
+def tables(draw):
+    width = draw(st.integers(min_value=1, max_value=5))
+    header = [f"col{i}" for i in range(width)]
+    table = Table(title="t", header=header)
+    for _ in range(draw(st.integers(min_value=0, max_value=8))):
+        table.add_row(*[draw(cells) for _ in range(width)])
+    return table
+
+
+class TestCsvProperties:
+    @given(table=tables())
+    @settings(max_examples=80)
+    def test_csv_parses_to_same_shape(self, table):
+        parsed = list(csv.reader(io.StringIO(table.to_csv())))
+        assert parsed[0] == table.header
+        assert len(parsed) == 1 + len(table.rows)
+        for row in parsed[1:]:
+            assert len(row) == len(table.header)
+
+    @given(table=tables())
+    @settings(max_examples=50)
+    def test_numeric_cells_survive_within_formatting_precision(self, table):
+        parsed = list(csv.reader(io.StringIO(table.to_csv())))
+        for original_row, parsed_row in zip(table.rows, parsed[1:]):
+            for original, text in zip(original_row, parsed_row):
+                if isinstance(original, int):
+                    assert int(text) == original
+                elif isinstance(original, float) and original != 0:
+                    assert abs(float(text) - original) <= abs(original) * 1e-3
+
+    @given(table=tables())
+    @settings(max_examples=50)
+    def test_render_never_crashes_and_includes_header(self, table):
+        text = table.render()
+        for name in table.header:
+            assert name in text

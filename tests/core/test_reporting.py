@@ -1,0 +1,69 @@
+"""Markdown campaign reports."""
+
+import pytest
+
+from repro.core.reporting import CampaignReport, _table_to_markdown
+from repro.core.report import Table
+from repro.harness.campaign import Campaign
+
+
+@pytest.fixture(scope="module")
+def report():
+    campaign = Campaign(seed=12, time_scale=0.15).run()
+    return CampaignReport(campaign)
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = Table(title="t", header=["a", "b"])
+        table.add_row(1, 2.5)
+        text = _table_to_markdown(table)
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.5 |"
+
+
+class TestSections:
+    def test_summary_mentions_sessions_and_multipliers(self, report):
+        text = report.summary_section()
+        assert "4 sessions" in text
+        assert "SDC FIT increase" in text or "unavailable" in text
+
+    def test_table2_section_contains_all_sessions(self, report):
+        text = report.table2_section()
+        for label in ("session1", "session2", "session3", "session4"):
+            assert label in text
+
+    def test_failures_section_has_fit_columns(self, report):
+        text = report.failures_section()
+        assert "SDC FIT" in text
+        assert "Total FIT" in text
+
+    def test_statistics_section_verdicts(self, report):
+        text = report.statistics_section()
+        assert "Poisson-like" in text
+
+    def test_soundness_section_consistent(self, report):
+        text = report.soundness_section()
+        assert text.count("consistent") >= 3
+        assert "INCONSISTENT" not in text
+
+
+class TestAssembly:
+    def test_render_contains_every_section(self, report):
+        text = report.render()
+        for heading in (
+            "# Radiation campaign report",
+            "## Summary",
+            "## Beam sessions",
+            "## Failures and FIT",
+            "## Beam-statistics checks",
+            "## Soundness",
+        ):
+            assert heading in text
+
+    def test_write(self, report, tmp_path):
+        path = report.write(str(tmp_path / "REPORT.md"))
+        content = open(path).read()
+        assert content.startswith("# Radiation campaign report")

@@ -1,0 +1,85 @@
+"""Calibration sensitivity (tornado) analysis."""
+
+import pytest
+
+from repro.core.sensitivity import (
+    SensitivityEntry,
+    dominant_parameter,
+    run_sensitivity,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return run_sensitivity()
+
+
+class TestEntries:
+    def test_sorted_by_relative_swing(self, entries):
+        swings = [e.relative_swing for e in entries]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_every_study_present(self, entries):
+        parameters = {e.parameter for e in entries}
+        assert parameters == {
+            "level_voltage_slopes",
+            "level_base_rates",
+            "outcome_sdc_anchor",
+            "pmd_dynamic_power",
+        }
+
+    def test_base_rates_scale_linearly(self, entries):
+        entry = next(
+            e
+            for e in entries
+            if e.parameter == "level_base_rates"
+            and e.output == "upsets_per_min@980mV"
+        )
+        # rates are linear in the base factor: +-20% in, +-20% out.
+        assert entry.low == pytest.approx(entry.nominal * 0.8)
+        assert entry.high == pytest.approx(entry.nominal * 1.2)
+
+    def test_slope_effect_small_near_nominal(self, entries):
+        # Voltage slopes only act through the (small) undervolt at
+        # 920 mV: a 20% slope change moves the rate by only a few %.
+        entry = next(
+            e
+            for e in entries
+            if e.parameter == "level_voltage_slopes"
+            and e.output == "upsets_per_min@920mV"
+        )
+        assert entry.relative_swing < 0.10
+
+    def test_slope_effect_larger_at_deep_undervolt(self, entries):
+        deep = next(
+            e
+            for e in entries
+            if e.parameter == "level_voltage_slopes"
+            and e.output == "upsets_per_min@790mV"
+        )
+        shallow = next(
+            e
+            for e in entries
+            if e.parameter == "level_voltage_slopes"
+            and e.output == "upsets_per_min@920mV"
+        )
+        assert deep.relative_swing > shallow.relative_swing
+
+    def test_sdc_anchor_dominates_sdc_output(self, entries):
+        entry = next(
+            e for e in entries if e.parameter == "outcome_sdc_anchor"
+        )
+        assert entry.relative_swing == pytest.approx(0.4, abs=0.05)
+
+    def test_dominant_parameter(self, entries):
+        assert dominant_parameter(entries) == entries[0].parameter
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            run_sensitivity(low=1.1, high=1.2)
+        with pytest.raises(AnalysisError):
+            dominant_parameter([])
+        entry = SensitivityEntry("p", "o", low=1.0, nominal=0.0, high=2.0)
+        with pytest.raises(AnalysisError):
+            entry.relative_swing

@@ -1,0 +1,141 @@
+"""Event-timeline analytics."""
+
+import numpy as np
+import pytest
+
+from repro.core.timeline import (
+    check_interarrivals,
+    dispersion_index,
+    expected_multiplicity,
+    multi_event_run_fraction,
+    run_multiplicity_histogram,
+)
+from repro.errors import AnalysisError
+
+
+class TestInterarrivals:
+    def test_poisson_stream_accepted(self):
+        rng = np.random.default_rng(0)
+        times = np.cumsum(rng.exponential(60.0, size=800))
+        check = check_interarrivals(times)
+        assert check.is_poisson_like()
+        assert check.mean_interarrival_s == pytest.approx(60.0, rel=0.1)
+
+    def test_regular_stream_rejected(self):
+        times = np.arange(0.0, 1000.0, 10.0)
+        check = check_interarrivals(times)
+        assert not check.is_poisson_like()
+
+    def test_bursty_stream_rejected(self):
+        rng = np.random.default_rng(1)
+        bursts = []
+        for center in range(0, 10_000, 1000):
+            bursts.extend(center + rng.uniform(0, 2.0, size=40))
+        check = check_interarrivals(np.array(bursts))
+        assert not check.is_poisson_like()
+
+    def test_too_few_events_rejected(self):
+        with pytest.raises(AnalysisError):
+            check_interarrivals([1.0, 2.0, 3.0])
+
+
+class TestMultiplicity:
+    def test_histogram_counts_runs(self):
+        histogram = run_multiplicity_histogram(
+            event_times_s=[1.0, 2.0, 11.0],
+            run_starts_s=[0.0, 10.0, 20.0],
+            run_durations_s=[5.0, 5.0, 5.0],
+        )
+        assert histogram == {2: 1, 1: 1, 0: 1}
+
+    def test_multi_event_fraction(self):
+        assert multi_event_run_fraction({0: 7, 1: 2, 2: 1}) == pytest.approx(0.1)
+        with pytest.raises(AnalysisError):
+            multi_event_run_fraction({})
+
+    def test_short_runs_rarely_see_two_events(self):
+        # The Section 3.3 design point: <5 s runs at ~1 upset/min give
+        # multi-event probability well under 1%.
+        rng = np.random.default_rng(2)
+        horizon = 3600.0 * 4
+        events = np.cumsum(rng.exponential(60.0, size=int(horizon / 60)))
+        starts = np.arange(0.0, horizon - 5.0, 5.0)
+        histogram = run_multiplicity_histogram(
+            events, starts, np.full(starts.size, 5.0)
+        )
+        assert multi_event_run_fraction(histogram) < 0.01
+
+    def test_alignment_validation(self):
+        with pytest.raises(AnalysisError):
+            run_multiplicity_histogram([1.0], [0.0, 1.0], [5.0])
+        with pytest.raises(AnalysisError):
+            run_multiplicity_histogram([1.0], [], [])
+
+
+class TestDispersion:
+    def test_poisson_near_one(self):
+        rng = np.random.default_rng(3)
+        events = np.cumsum(rng.exponential(5.0, size=4000))
+        horizon = float(events[-1])
+        index = dispersion_index(events, horizon, horizon / 100)
+        assert index == pytest.approx(1.0, abs=0.35)
+
+    def test_bursty_above_one(self):
+        rng = np.random.default_rng(4)
+        bursts = []
+        for center in range(0, 10_000, 500):
+            bursts.extend(center + rng.uniform(0, 5.0, size=25))
+        index = dispersion_index(np.array(bursts), 10_000.0, 100.0)
+        assert index > 2.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            dispersion_index([1.0], 0.0, 1.0)
+        with pytest.raises(AnalysisError):
+            dispersion_index([1.0], 10.0, 20.0)
+        with pytest.raises(AnalysisError):
+            dispersion_index([], 100.0, 10.0)
+
+
+class TestExpectedMultiplicity:
+    def test_probabilities_near_one_total(self):
+        pmf = expected_multiplicity(1.0, 5.0)
+        assert sum(pmf.values()) == pytest.approx(1.0, abs=1e-6)
+        assert pmf[0] > 0.9  # 5 s at 1/min: mostly zero events
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            expected_multiplicity(-1.0, 5.0)
+        with pytest.raises(AnalysisError):
+            expected_multiplicity(1.0, 0.0)
+
+
+class TestOnSimulatedSession:
+    def test_session_event_stream_is_poisson_like(self):
+        from repro.harness.session import BeamSession, SessionPlan
+        from repro.rng import RngStreams
+        from repro.soc.dvfs import TABLE3_OPERATING_POINTS
+
+        plan = SessionPlan(
+            "check", TABLE3_OPERATING_POINTS[0], max_minutes=700.0
+        )
+        result = BeamSession(plan, RngStreams(8)).run()
+        times = [u.time_s for u in result.upsets.upsets]
+        check = check_interarrivals(times)
+        assert check.is_poisson_like(alpha=0.001)
+
+    def test_session_runs_rarely_multi_event(self):
+        from repro.harness.session import BeamSession, SessionPlan
+        from repro.rng import RngStreams
+        from repro.soc.dvfs import TABLE3_OPERATING_POINTS
+
+        plan = SessionPlan(
+            "check", TABLE3_OPERATING_POINTS[0], max_minutes=300.0
+        )
+        result = BeamSession(plan, RngStreams(9)).run()
+        histogram = run_multiplicity_histogram(
+            [u.time_s for u in result.upsets.upsets],
+            [r.start_s for r in result.runs],
+            [r.duration_s for r in result.runs],
+        )
+        assert multi_event_run_fraction(histogram) < 0.02

@@ -1,0 +1,98 @@
+"""Ablation experiment drivers."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_checkpoint,
+    run_ecc,
+    run_interleave,
+    run_scrub,
+    run_slope,
+)
+
+
+class TestInterleaveAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_interleave(seed=5, strikes=8000)
+
+    def test_interleaving_eliminates_uncorrected(self, result):
+        outcomes = result.series["outcomes"]
+        assert outcomes[4]["uncorrected"] == 0
+        assert outcomes[1]["uncorrected"] > 0
+
+    def test_interleaving_eliminates_silent(self, result):
+        outcomes = result.series["outcomes"]
+        assert outcomes[4]["silent"] == 0
+
+    def test_both_arrays_mostly_corrected(self, result):
+        for outcomes in result.series["outcomes"].values():
+            total = sum(outcomes.values())
+            assert outcomes["corrected"] / total > 0.9
+
+
+class TestEccAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ecc(seed=5, strikes=8000)
+
+    def test_parity_recovers_nothing_on_writeback(self, result):
+        parity = result.series["outcomes"]["parity"]
+        assert parity["corrected"] == 0
+
+    def test_secded_recovers_most(self, result):
+        secded = result.series["outcomes"]["SECDED"]
+        total = sum(secded.values())
+        assert secded["corrected"] / total > 0.9
+
+    def test_parity_has_silent_even_flips(self, result):
+        assert result.series["outcomes"]["parity"]["silent"] > 0
+
+
+class TestSlopeAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_slope()
+
+    def test_nominal_rate_slope_invariant(self, result):
+        rates = result.series["rates"]
+        nominal = [rates[scale][0] for scale in (0.5, 1.0, 1.5)]
+        assert max(nominal) - min(nominal) < 1e-12
+
+    def test_undervolted_rates_grow_with_slope(self, result):
+        rates = result.series["rates"]
+        at_920 = [rates[scale][2] for scale in (0.5, 1.0, 1.5)]
+        assert at_920 == sorted(at_920)
+
+    def test_trend_survives_any_slope(self, result):
+        for row in result.series["rates"].values():
+            assert row[0] < row[2]  # 980 mV < 920 mV always
+
+
+class TestScrubAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scrub()
+
+    def test_due_rate_grows_with_interval(self, result):
+        for curve in result.series["curves"].values():
+            assert curve == sorted(curve)
+
+    def test_undervolted_soc_needs_tighter_scrubbing(self, result):
+        curves = result.series["curves"]
+        for a, b in zip(curves[920], curves[950]):
+            assert a > b
+
+
+class TestCheckpointAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_checkpoint()
+
+    def test_pays_off_everywhere_with_measured_rates(self, result):
+        assert all(net > 0 for net in result.series["net_savings"])
+
+    def test_net_at_ground_level_equals_raw(self, result):
+        assert result.series["net_savings"][0] == pytest.approx(
+            result.series["raw_savings"][0], abs=1e-4
+        )

@@ -1,0 +1,74 @@
+"""Internal consistency of the paper's reference-number tables."""
+
+import pytest
+
+from repro.experiments.config import PAPER, shared_campaign
+
+
+class TestPaperData:
+    def test_table2_columns_aligned(self):
+        table2 = PAPER["table2"]
+        lengths = {len(v) for v in table2.values()}
+        assert lengths == {4}
+
+    def test_table2_rates_consistent_with_counts(self):
+        table2 = PAPER["table2"]
+        for failures, duration, rate in zip(
+            table2["failures"], table2["durations_min"], table2["failure_rates"]
+        ):
+            assert failures / duration == pytest.approx(rate, rel=0.03)
+        for upsets, duration, rate in zip(
+            table2["upsets"], table2["durations_min"], table2["upset_rates"]
+        ):
+            assert upsets / duration == pytest.approx(rate, rel=0.03)
+
+    def test_table2_fluence_consistent_with_duration(self):
+        table2 = PAPER["table2"]
+        for fluence, duration in zip(
+            table2["fluences"], table2["durations_min"]
+        ):
+            implied_flux = fluence / (duration * 60.0)
+            assert implied_flux == pytest.approx(1.5e6, rel=0.02)
+
+    def test_fig5_totals_match_fig9(self):
+        assert PAPER["fig5"]["rates"]["Total"] == PAPER["fig9"]["upsets_per_min"][:3]
+
+    def test_fig6_nominal_sums_to_fig9_total(self):
+        total = sum(rates[0] for rates in PAPER["fig6"]["rates"].values())
+        assert total == pytest.approx(PAPER["fig9"]["upsets_per_min"][0], abs=0.01)
+
+    def test_fig8_mixes_sum_to_hundred(self):
+        for mix in PAPER["fig8"]["mixes_pct"].values():
+            assert sum(mix.values()) == pytest.approx(100.0, abs=0.5)
+
+    def test_fig11_category_sums(self):
+        # The known inconsistency: 980/930 totals match their categories;
+        # the 920 mV total famously does not (documented in
+        # EXPERIMENTS.md) -- keep both facts pinned.
+        fit = PAPER["fig11"]["fit"]
+        for mv in (980, 930):
+            parts = fit[mv]["AppCrash"] + fit[mv]["SysCrash"] + fit[mv]["SDC"]
+            assert parts == pytest.approx(fit[mv]["Total"], abs=0.05)
+        parts_920 = (
+            fit[920]["AppCrash"] + fit[920]["SysCrash"] + fit[920]["SDC"]
+        )
+        assert parts_920 < fit[920]["Total"] - 5.0
+
+    def test_fig12_rows_bounded_by_fig11_sdc(self):
+        for mv, row in PAPER["fig12"]["sdc_fit"].items():
+            total_sdc = PAPER["fig11"]["fit"][mv]["SDC"]
+            assert row["without"] + row["with"] == pytest.approx(
+                total_sdc, rel=0.05
+            )
+
+
+class TestSharedCampaign:
+    def test_cache_returns_same_object(self):
+        a = shared_campaign(999, 0.01)
+        b = shared_campaign(999, 0.01)
+        assert a is b
+
+    def test_different_keys_different_campaigns(self):
+        a = shared_campaign(999, 0.01)
+        b = shared_campaign(998, 0.01)
+        assert a is not b

@@ -1,0 +1,43 @@
+"""Per-benchmark masking extension experiment."""
+
+import pytest
+
+from repro.experiments.ext_masking import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(seed=3, injections=40, kernel_scale=0.2)
+
+
+class TestExtMasking:
+    def test_all_benchmarks_reported(self, result):
+        assert len(result.table.rows) == 6
+
+    def test_outcome_fractions_partition(self, result):
+        for name in ("CG", "LU", "FT", "EP", "MG", "IS"):
+            s = result.series[name]
+            assert s["masked"] + s["sdc"] + s["crash"] == pytest.approx(1.0)
+
+    def test_avf_definition(self, result):
+        for name in ("CG", "LU", "FT", "EP", "MG", "IS"):
+            s = result.series[name]
+            assert s["avf"] == pytest.approx(s["sdc"] + s["crash"])
+
+    def test_is_mostly_unmasked(self, result):
+        # IS checksums its entire rank array: almost every key flip is
+        # an SDC.
+        assert result.series["IS"]["avf"] > 0.8
+
+    def test_mg_mostly_masked(self, result):
+        # MG's state is overwhelmingly zeros; most flips touch values
+        # that never influence the residual above tolerance.
+        assert result.series["MG"]["masked"] > 0.7
+
+    def test_suite_mean_recorded(self, result):
+        assert 0.0 < result.series["suite_mean_masked"] < 1.0
+
+    def test_deterministic(self):
+        a = run(seed=9, injections=15, kernel_scale=0.15)
+        b = run(seed=9, injections=15, kernel_scale=0.15)
+        assert a.table.rows == b.table.rows

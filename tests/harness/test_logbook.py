@@ -1,0 +1,40 @@
+"""Session logbook."""
+
+from repro.harness.logbook import Logbook, LogEntry
+
+
+class TestLogbook:
+    def test_record_and_count(self):
+        book = Logbook()
+        book.record(1.0, "run", "start", benchmark="CG")
+        book.record(2.0, "sdc", "mismatch", benchmark="CG")
+        book.record(3.0, "run", "start", benchmark="EP")
+        assert len(book) == 3
+        assert book.count("run") == 2
+        assert book.count("sdc") == 1
+        assert book.count("powercycle") == 0
+
+    def test_entries_filter(self):
+        book = Logbook()
+        book.record(1.0, "run", "a")
+        book.record(2.0, "ok", "b")
+        assert [e.kind for e in book.entries("ok")] == ["ok"]
+        assert len(book.entries()) == 2
+
+    def test_render_contains_messages(self):
+        book = Logbook()
+        book.record(1.5, "syscrash", "board unreachable", benchmark="MG")
+        text = book.render()
+        assert "SYSCRASH" in text
+        assert "[MG]" in text
+        assert "board unreachable" in text
+
+    def test_entry_render_without_benchmark(self):
+        entry = LogEntry(time_s=0.0, kind="note", message="hello")
+        assert "[" not in entry.render().split(":")[0]
+
+    def test_iteration_order(self):
+        book = Logbook()
+        for t in (1.0, 2.0, 3.0):
+            book.record(t, "run", "x")
+        assert [e.time_s for e in book] == [1.0, 2.0, 3.0]

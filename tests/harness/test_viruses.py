@@ -1,0 +1,89 @@
+"""Micro-virus stress kernels."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.vmin import PFAIL_MODELS
+from repro.harness.viruses import (
+    CacheThrashVirus,
+    PowerVirus,
+    StressSignature,
+    ToggleVirus,
+    battery_safe_vmin_mv,
+    characterize_with_viruses,
+    make_viruses,
+    virus_shifted_model,
+)
+
+
+class TestKernels:
+    @pytest.mark.parametrize(
+        "virus_cls", [PowerVirus, CacheThrashVirus, ToggleVirus]
+    )
+    def test_deterministic_checksum(self, virus_cls):
+        virus = virus_cls(seed=3)
+        assert virus.run() == virus.run()
+        assert virus.verify()
+
+    def test_different_seeds_differ(self):
+        assert PowerVirus(seed=1).run() != PowerVirus(seed=2).run()
+
+    def test_battery_composition(self):
+        names = [v.signature.name for v in make_viruses()]
+        assert names == ["power-virus", "cache-thrash", "bus-toggle"]
+
+    def test_runtimes_much_shorter_than_benchmarks(self):
+        for virus in make_viruses():
+            assert virus.signature.runtime_s < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerVirus(size=2)
+        with pytest.raises(ConfigurationError):
+            StressSignature(name="x", droop_penalty_mv=-1.0, runtime_s=1.0)
+        with pytest.raises(ConfigurationError):
+            StressSignature(name="x", droop_penalty_mv=1.0, runtime_s=0.0)
+
+
+class TestShiftedModel:
+    def test_droop_raises_failure_curve(self):
+        base = PFAIL_MODELS[2400]
+        shifted = virus_shifted_model(base, PowerVirus())
+        assert shifted.v50_mv == base.v50_mv + 15.0
+        # At any voltage the virus fails at least as often.
+        for v in (930, 925, 920, 915):
+            assert shifted.pfail(v) >= base.pfail(v)
+
+
+class TestCharacterization:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return characterize_with_viruses(
+            PFAIL_MODELS[2400], runs_per_voltage=80, seed=1
+        )
+
+    def test_every_virus_reports(self, results):
+        assert set(results) == {"power-virus", "cache-thrash", "bus-toggle"}
+
+    def test_virus_vmin_conservative(self, results):
+        # Each virus's Vmin sits above (or at) the benchmark Vmin of
+        # 920 mV, by roughly its droop penalty.
+        for name, result in results.items():
+            assert result.safe_vmin_mv >= 920
+
+    def test_power_virus_most_conservative(self, results):
+        assert (
+            results["power-virus"].safe_vmin_mv
+            >= results["bus-toggle"].safe_vmin_mv
+        )
+
+    def test_battery_vmin_is_max(self, results):
+        assert battery_safe_vmin_mv(results) == max(
+            r.safe_vmin_mv for r in results.values()
+        )
+
+    def test_empty_battery_rejected(self):
+        with pytest.raises(ConfigurationError):
+            battery_safe_vmin_mv({})
+        with pytest.raises(ConfigurationError):
+            characterize_with_viruses(PFAIL_MODELS[2400], viruses=[])

@@ -1,0 +1,81 @@
+"""Watchdog timeout calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.watchdog import (
+    WatchdogPolicy,
+    calibrate_watchdog,
+    compare_policies,
+)
+
+
+@pytest.fixture(scope="module")
+def durations():
+    rng = np.random.default_rng(0)
+    # Benchmark runtimes ~ 2-4.5 s with a lognormal tail.
+    return 3.0 * rng.lognormal(mean=0.0, sigma=0.15, size=5000)
+
+
+class TestCalibration:
+    def test_timeout_above_typical_runtimes(self, durations):
+        policy = calibrate_watchdog(durations, false_alarm_target=1e-3)
+        assert policy.timeout_s > float(np.median(durations))
+
+    def test_false_alarm_probability_bounded(self, durations):
+        policy = calibrate_watchdog(durations, false_alarm_target=1e-3)
+        assert policy.false_alarm_probability <= 1e-3
+
+    def test_stricter_target_longer_timeout(self, durations):
+        lax = calibrate_watchdog(durations, false_alarm_target=1e-2)
+        strict = calibrate_watchdog(durations, false_alarm_target=1e-4)
+        assert strict.timeout_s >= lax.timeout_s
+
+    def test_margin_adds_directly(self, durations):
+        a = calibrate_watchdog(durations, margin_s=0.0)
+        b = calibrate_watchdog(durations, margin_s=10.0)
+        assert b.timeout_s == pytest.approx(a.timeout_s + 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_watchdog([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            calibrate_watchdog([1.0] * 20, false_alarm_target=0.0)
+        with pytest.raises(ConfigurationError):
+            calibrate_watchdog([-1.0] * 20)
+        with pytest.raises(ConfigurationError):
+            calibrate_watchdog([1.0] * 20, margin_s=-1.0)
+
+
+class TestCosts:
+    def test_cost_components(self):
+        policy = WatchdogPolicy(
+            timeout_s=30.0,
+            false_alarm_probability=0.001,
+            mean_detection_delay_s=30.0,
+        )
+        cost = policy.beam_cost_per_hour_s(
+            runs_per_hour=1000.0, crashes_per_hour=2.0, power_cycle_s=120.0
+        )
+        assert cost == pytest.approx(1000 * 0.001 * 120 + 2 * 30)
+
+    def test_cost_curve_has_interior_minimum(self, durations):
+        # Short timeouts bleed false alarms; long ones bleed detection
+        # delay: the cost curve over timeouts should dip in between.
+        timeouts = [3.0, 4.0, 5.0, 10.0, 30.0, 120.0, 600.0]
+        curve = compare_policies(
+            durations, timeouts, runs_per_hour=900.0, crashes_per_hour=3.0
+        )
+        costs = [c for _, c in curve]
+        best = min(range(len(costs)), key=costs.__getitem__)
+        assert 0 < best < len(costs) - 1
+
+    def test_validation(self, durations):
+        with pytest.raises(ConfigurationError):
+            compare_policies(durations, [0.0], 10.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            compare_policies([], [10.0], 10.0, 1.0)
+        policy = WatchdogPolicy(10.0, 0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            policy.beam_cost_per_hour_s(-1.0, 1.0)

@@ -1,0 +1,114 @@
+"""Calibration anchors and their interpolators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.injection.calibration import (
+    LEVEL_BASE_RATES_980MV,
+    LevelRateModel,
+    OutcomeMixModel,
+)
+from repro.soc.geometry import CacheLevel
+
+
+@pytest.fixture(scope="module")
+def rates():
+    return LevelRateModel()
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return OutcomeMixModel()
+
+
+class TestLevelRateModel:
+    def test_nominal_total_matches_fig9(self, rates):
+        total = rates.total_rate_per_min(980, 950)
+        assert total == pytest.approx(1.01, abs=0.02)
+
+    def test_vmin_total_matches_fig9(self, rates):
+        assert rates.total_rate_per_min(920, 920) == pytest.approx(1.12, abs=0.02)
+
+    def test_deep_undervolt_total_matches_fig9(self, rates):
+        # 790 mV PMD, SoC at nominal (the 900 MHz point).
+        assert rates.total_rate_per_min(790, 950) == pytest.approx(1.18, abs=0.04)
+
+    def test_larger_structures_upset_more(self, rates):
+        tlb = rates.rate_per_min(CacheLevel.TLB, True, 980, 950)
+        l1 = rates.rate_per_min(CacheLevel.L1, True, 980, 950)
+        l2 = rates.rate_per_min(CacheLevel.L2, True, 980, 950)
+        l3 = rates.rate_per_min(CacheLevel.L3, True, 980, 950)
+        assert tlb < l1 < l2 < l3
+
+    def test_uncorrected_only_in_l3(self, rates):
+        for level in (CacheLevel.TLB, CacheLevel.L1, CacheLevel.L2):
+            assert rates.rate_per_min(level, False, 980, 950) == 0.0
+        assert rates.rate_per_min(CacheLevel.L3, False, 980, 950) > 0.0
+
+    def test_l3_rate_insensitive_to_pmd_voltage(self, rates):
+        # The L3 sits in the SoC domain: PMD undervolt alone must not
+        # change its rate (Fig. 7's key mechanism).
+        at_nominal = rates.rate_per_min(CacheLevel.L3, True, 980, 950)
+        at_deep = rates.rate_per_min(CacheLevel.L3, True, 790, 950)
+        assert at_deep == pytest.approx(at_nominal)
+
+    def test_pmd_arrays_rise_steeply_at_790(self, rates):
+        l1_920 = rates.rate_per_min(CacheLevel.L1, True, 920, 920)
+        l1_790 = rates.rate_per_min(CacheLevel.L1, True, 790, 950)
+        # Fig. 7: L1 rate at 790 mV is ~2.7x the 920 mV rate.
+        assert 1.5 < l1_790 / l1_920 < 3.5
+
+    def test_rate_scales_with_flux(self, rates):
+        full = rates.rate_per_min(CacheLevel.L2, True, 980, 950, 1.5e6)
+        half = rates.rate_per_min(CacheLevel.L2, True, 980, 950, 0.75e6)
+        assert full == pytest.approx(2 * half)
+
+    def test_base_rates_match_fig6(self, rates):
+        for (level, corrected), expected in LEVEL_BASE_RATES_980MV.items():
+            assert rates.rate_per_min(level, corrected, 980, 950) == pytest.approx(
+                expected
+            )
+
+    def test_invalid_voltage_rejected(self, rates):
+        with pytest.raises(ConfigurationError):
+            rates.rate_per_min(CacheLevel.L2, True, 0, 950)
+
+
+class TestOutcomeMixModel:
+    def test_anchor_rates_recovered(self, mix):
+        rates = mix.rates_per_min(2400, 980)
+        assert rates["SDC"] == pytest.approx(0.0575 * 0.305, rel=1e-6)
+        assert rates["SysCrash"] == pytest.approx(0.0575 * 0.516, rel=1e-6)
+
+    def test_sdc_rate_explodes_toward_vmin(self, mix):
+        sdc = [mix.rate_per_min("SDC", 2400, v) for v in (980, 930, 920)]
+        assert sdc[0] < sdc[1] < sdc[2]
+        assert sdc[2] / sdc[0] > 10
+
+    def test_crash_rates_fall_toward_vmin(self, mix):
+        app = [mix.rate_per_min("AppCrash", 2400, v) for v in (980, 920)]
+        assert app[1] < app[0]
+
+    def test_interpolation_is_monotone_between_anchors(self, mix):
+        v_mid = mix.rate_per_min("SDC", 2400, 925)
+        assert (
+            mix.rate_per_min("SDC", 2400, 930)
+            < v_mid
+            < mix.rate_per_min("SDC", 2400, 920)
+        )
+
+    def test_low_frequency_uses_900mhz_anchor(self, mix):
+        rates = mix.rates_per_min(900, 790)
+        total = sum(rates.values())
+        assert total == pytest.approx(0.0787, rel=0.01)
+
+    def test_notification_probability_falls_with_voltage(self, mix):
+        probs = [
+            mix.sdc_notification_probability(2400, v) for v in (980, 930, 920)
+        ]
+        assert probs[0] > probs[1] > probs[2]
+        assert all(0 <= p <= 1 for p in probs)
+
+    def test_total_rate_positive_everywhere(self, mix):
+        for v in range(920, 985, 5):
+            assert mix.total_rate_per_min(2400, v) > 0

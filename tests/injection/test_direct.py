@@ -1,0 +1,78 @@
+"""Concrete bit-flip injection into live workload data."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectionError
+from repro.injection.direct import DirectInjector
+from repro.injection.events import OutcomeKind
+from repro.workloads.suite import SUITE_NAMES, make_workload
+
+
+class TestInjectOne:
+    def test_returns_classification(self, rng):
+        injector = DirectInjector(make_workload("EP", scale=0.1))
+        result = injector.inject_one(rng)
+        assert result.outcome in (
+            OutcomeKind.MASKED,
+            OutcomeKind.SDC,
+            OutcomeKind.APP_CRASH,
+        )
+        assert result.bit in range(8)
+        assert result.byte_offset >= 0
+
+    def test_golden_unaffected_by_injections(self, rng):
+        workload = make_workload("CG", scale=0.1)
+        injector = DirectInjector(workload)
+        golden_before = workload.golden().verification.copy()
+        for _ in range(5):
+            injector.inject_one(rng)
+        assert np.array_equal(workload.golden().verification, golden_before)
+
+    def test_some_faults_are_sdcs_somewhere(self, rng):
+        # Across the suite a campaign must surface at least one SDC and
+        # at least one masked fault: both outcomes are physical.
+        outcomes = set()
+        for name in SUITE_NAMES:
+            injector = DirectInjector(make_workload(name, scale=0.1))
+            for r in injector.results(8, rng):
+                outcomes.add(r.outcome)
+        assert OutcomeKind.SDC in outcomes
+        assert OutcomeKind.MASKED in outcomes
+
+
+class TestCampaign:
+    def test_counts_sum_to_injections(self, rng):
+        injector = DirectInjector(make_workload("IS", scale=0.1))
+        counts = injector.campaign(20, rng)
+        assert sum(counts.values()) == 20
+
+    def test_masking_factor_bounded(self, rng):
+        injector = DirectInjector(make_workload("LU", scale=0.1))
+        factor = injector.masking_factor(20, rng)
+        assert 0.0 <= factor <= 1.0
+
+    def test_zero_injection_masking_rejected(self, rng):
+        injector = DirectInjector(make_workload("LU", scale=0.1))
+        with pytest.raises(InjectionError):
+            injector.masking_factor(0, rng)
+
+    def test_negative_count_rejected(self, rng):
+        injector = DirectInjector(make_workload("LU", scale=0.1))
+        with pytest.raises(InjectionError):
+            injector.campaign(-1, rng)
+
+    def test_results_length(self, rng):
+        injector = DirectInjector(make_workload("MG", scale=0.1))
+        assert len(injector.results(7, rng)) == 7
+
+
+class TestDeterminismOfStateRebuild:
+    def test_each_injection_uses_fresh_state(self, rng):
+        # Two consecutive injections must not compound corruption:
+        # state is rebuilt every time.
+        workload = make_workload("FT", scale=0.1)
+        injector = DirectInjector(workload)
+        injector.inject_one(rng)
+        clean = workload.run()
+        assert workload.verify(clean)

@@ -1,0 +1,51 @@
+"""Event taxonomy."""
+
+import pytest
+
+from repro.injection.events import (
+    FAILURE_KINDS,
+    FailureEvent,
+    OutcomeKind,
+    UpsetEvent,
+)
+
+
+class TestOutcomeKind:
+    def test_masked_is_not_failure(self):
+        assert not OutcomeKind.MASKED.is_failure
+
+    def test_other_kinds_are_failures(self):
+        for kind in (OutcomeKind.SDC, OutcomeKind.APP_CRASH, OutcomeKind.SYS_CRASH):
+            assert kind.is_failure
+
+    def test_failure_kinds_ordering(self):
+        assert FAILURE_KINDS == (
+            OutcomeKind.APP_CRASH,
+            OutcomeKind.SYS_CRASH,
+            OutcomeKind.SDC,
+        )
+
+
+class TestFailureEvent:
+    def test_valid_failure(self):
+        event = FailureEvent(time_s=1.0, benchmark="CG", kind=OutcomeKind.SDC)
+        assert not event.hw_notified
+
+    def test_masked_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent(time_s=1.0, benchmark="CG", kind=OutcomeKind.MASKED)
+
+    def test_notified_sdc(self):
+        event = FailureEvent(
+            time_s=1.0, benchmark="CG", kind=OutcomeKind.SDC, hw_notified=True
+        )
+        assert event.hw_notified
+
+
+class TestUpsetEvent:
+    def test_fields(self):
+        upset = UpsetEvent(
+            time_s=2.0, array="soc.l3", level="L3 Cache", bits=2, corrected=False
+        )
+        assert upset.bits == 2
+        assert not upset.corrected

@@ -1,0 +1,112 @@
+"""Beam-driven Monte-Carlo injector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectionError
+from repro.injection.injector import BeamInjector, InjectionSummary
+from repro.soc.dvfs import TABLE3_OPERATING_POINTS
+from repro.soc.edac import EdacSeverity
+from repro.soc.geometry import CacheLevel
+from repro.soc.xgene2 import XGene2
+
+
+@pytest.fixture
+def injector(chip):
+    return BeamInjector(chip)
+
+
+class TestExpectedRates:
+    def test_total_rate_at_nominal(self, injector):
+        total = sum(
+            injector.expected_rate_per_min(level) for level in CacheLevel
+        )
+        assert total == pytest.approx(1.01, abs=0.02)
+
+    def test_benchmark_share_modulates_rate(self, injector):
+        base = injector.expected_rate_per_min(CacheLevel.L3)
+        cg = injector.expected_rate_per_min(CacheLevel.L3, benchmark="CG")
+        ft = injector.expected_rate_per_min(CacheLevel.L3, benchmark="FT")
+        assert cg < base < ft  # Fig. 5: CG below average, FT above
+
+    def test_rate_rises_at_vmin(self, chip, injector):
+        nominal = injector.expected_rate_per_min(CacheLevel.L2)
+        chip.apply_operating_point(TABLE3_OPERATING_POINTS[2])
+        assert injector.expected_rate_per_min(CacheLevel.L2) > nominal
+
+
+class TestExposure:
+    def test_event_count_matches_expectation(self, chip):
+        injector = BeamInjector(chip)
+        rng = np.random.default_rng(5)
+        minutes = 400.0
+        summary = injector.expose(minutes * 60, rng)
+        # ~1.01/min expected; Poisson 3-sigma band around 404.
+        assert 330 < summary.total_upsets < 480
+        assert summary.upsets_per_minute == pytest.approx(1.01, abs=0.15)
+
+    def test_edac_log_populated(self, chip):
+        injector = BeamInjector(chip)
+        rng = np.random.default_rng(6)
+        summary = injector.expose(3600 * 4, rng)
+        assert len(chip.edac) == summary.total_upsets
+
+    def test_l3_dominates_counts(self, chip):
+        injector = BeamInjector(chip)
+        rng = np.random.default_rng(7)
+        summary = injector.expose(3600 * 6, rng)
+        l3 = summary.count(level=CacheLevel.L3)
+        assert l3 > summary.total_upsets * 0.6
+
+    def test_uncorrected_only_in_l3(self, chip):
+        injector = BeamInjector(chip)
+        rng = np.random.default_rng(8)
+        summary = injector.expose(3600 * 8, rng)
+        for level in (CacheLevel.TLB, CacheLevel.L1, CacheLevel.L2):
+            assert summary.count(level=level, severity=EdacSeverity.UE) == 0
+        assert summary.count(CacheLevel.L3, EdacSeverity.UE) > 0
+
+    def test_l3_ue_fraction_near_five_percent(self, chip):
+        injector = BeamInjector(chip)
+        rng = np.random.default_rng(9)
+        summary = injector.expose(3600 * 20, rng)
+        ue = summary.count(CacheLevel.L3, EdacSeverity.UE)
+        ce = summary.count(CacheLevel.L3, EdacSeverity.CE)
+        assert ue / (ue + ce) == pytest.approx(0.047, abs=0.03)
+
+    def test_zero_duration_no_events(self, chip):
+        injector = BeamInjector(chip)
+        rng = np.random.default_rng(10)
+        summary = injector.expose(0.0, rng)
+        assert summary.total_upsets == 0
+
+    def test_negative_duration_rejected(self, injector, rng):
+        with pytest.raises(InjectionError):
+            injector.expose(-1.0, rng)
+
+    def test_event_times_within_window(self, chip):
+        injector = BeamInjector(chip)
+        rng = np.random.default_rng(11)
+        summary = injector.expose(600.0, rng, time_offset_s=1000.0)
+        for upset in summary.upsets:
+            assert 1000.0 <= upset.time_s <= 1600.0
+
+    def test_flux_scaling(self, chip):
+        injector = BeamInjector(chip)
+        rng = np.random.default_rng(12)
+        half = injector.expose(3600 * 8, rng, flux_per_cm2_s=0.75e6)
+        assert half.upsets_per_minute == pytest.approx(0.505, abs=0.1)
+
+
+class TestSummary:
+    def test_merge_accumulates(self):
+        a = InjectionSummary(duration_s=60.0)
+        b = InjectionSummary(duration_s=120.0)
+        a.counts[(CacheLevel.L3, EdacSeverity.CE)] = 2
+        b.counts[(CacheLevel.L3, EdacSeverity.CE)] = 3
+        a.merge(b)
+        assert a.duration_s == 180.0
+        assert a.counts[(CacheLevel.L3, EdacSeverity.CE)] == 5
+
+    def test_rate_zero_without_exposure(self):
+        assert InjectionSummary().upsets_per_minute == 0.0

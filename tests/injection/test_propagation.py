@@ -1,0 +1,94 @@
+"""Software-outcome propagation model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectionError
+from repro.injection.events import OutcomeKind
+from repro.injection.propagation import OutcomeModel
+from repro.soc.dvfs import TABLE3_OPERATING_POINTS
+
+NOMINAL, SAFE, VMIN, LOWFREQ = TABLE3_OPERATING_POINTS
+
+
+@pytest.fixture(scope="module")
+def model():
+    return OutcomeModel()
+
+
+class TestRates:
+    def test_total_rate_matches_table2(self, model):
+        rates = model.rates_per_min(NOMINAL)
+        assert sum(rates.values()) == pytest.approx(0.0575, rel=0.01)
+
+    def test_vmin_rate_matches_table2(self, model):
+        rates = model.rates_per_min(VMIN)
+        assert sum(rates.values()) == pytest.approx(0.311, rel=0.01)
+
+    def test_sdc_dominates_at_vmin(self, model):
+        rates = model.rates_per_min(VMIN)
+        total = sum(rates.values())
+        assert rates[OutcomeKind.SDC] / total > 0.85
+
+    def test_crashes_dominate_at_nominal(self, model):
+        rates = model.rates_per_min(NOMINAL)
+        total = sum(rates.values())
+        crash = rates[OutcomeKind.APP_CRASH] + rates[OutcomeKind.SYS_CRASH]
+        assert crash / total > 0.6
+
+    def test_rates_scale_with_flux(self, model):
+        full = model.rates_per_min(NOMINAL, flux_per_cm2_s=1.5e6)
+        half = model.rates_per_min(NOMINAL, flux_per_cm2_s=0.75e6)
+        for kind in full:
+            assert full[kind] == pytest.approx(2 * half[kind])
+
+    def test_negative_flux_rejected(self, model):
+        with pytest.raises(InjectionError):
+            model.rates_per_min(NOMINAL, flux_per_cm2_s=-1.0)
+
+
+class TestSampling:
+    def test_counts_match_expectation(self, model):
+        rng = np.random.default_rng(1)
+        minutes = 4000.0
+        events = model.sample_failures(VMIN, minutes * 60, "CG", rng)
+        expected = 0.311 * minutes
+        assert len(events) == pytest.approx(expected, rel=0.15)
+
+    def test_event_times_sorted_and_bounded(self, model):
+        rng = np.random.default_rng(2)
+        events = model.sample_failures(
+            VMIN, 3600.0, "CG", rng, time_offset_s=50.0
+        )
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+        assert all(50.0 <= t <= 3650.0 for t in times)
+
+    def test_benchmark_recorded(self, model):
+        rng = np.random.default_rng(3)
+        events = model.sample_failures(VMIN, 7200.0, "MG", rng)
+        assert events
+        assert all(e.benchmark == "MG" for e in events)
+
+    def test_notified_fraction_matches_anchor(self, model):
+        rng = np.random.default_rng(4)
+        events = model.sample_failures(NOMINAL, 3600 * 400, "CG", rng)
+        sdcs = [e for e in events if e.kind is OutcomeKind.SDC]
+        notified = sum(e.hw_notified for e in sdcs)
+        # Fig. 12 at 980 mV: ~27.6% of SDCs come with a notification.
+        assert notified / len(sdcs) == pytest.approx(0.276, abs=0.06)
+
+    def test_crashes_never_notified(self, model):
+        rng = np.random.default_rng(5)
+        events = model.sample_failures(NOMINAL, 3600 * 100, "CG", rng)
+        for e in events:
+            if e.kind is not OutcomeKind.SDC:
+                assert not e.hw_notified
+
+    def test_zero_duration_no_events(self, model):
+        rng = np.random.default_rng(6)
+        assert model.sample_failures(NOMINAL, 0.0, "CG", rng) == []
+
+    def test_negative_duration_rejected(self, model, rng):
+        with pytest.raises(InjectionError):
+            model.sample_failures(NOMINAL, -1.0, "CG", rng)

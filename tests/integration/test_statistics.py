@@ -1,0 +1,88 @@
+"""Statistical validation of the Monte-Carlo pipeline.
+
+These tests treat the whole simulator as a random process and check
+its *statistics* -- interval coverage, unbiasedness, seed independence
+-- rather than individual values.  A systematic bias anywhere in the
+beam/injection/session stack would surface here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import poisson_interval
+from repro.harness.session import BeamSession, SessionPlan
+from repro.injection.calibration import LevelRateModel, OutcomeMixModel
+from repro.rng import RngStreams
+from repro.soc.dvfs import TABLE3_OPERATING_POINTS
+
+
+def fly(seed: int, minutes: float = 120.0, point_idx: int = 0):
+    plan = SessionPlan(
+        "stats", TABLE3_OPERATING_POINTS[point_idx], max_minutes=minutes
+    )
+    return BeamSession(plan, RngStreams(seed)).run()
+
+
+class TestUnbiasedness:
+    def test_upset_counts_unbiased(self):
+        # Mean over seeds matches the model expectation within the
+        # standard error of the ensemble mean.
+        minutes = 120.0
+        expected = LevelRateModel().total_rate_per_min(980, 950) * minutes
+        counts = [fly(seed, minutes).upset_count for seed in range(12)]
+        mean = np.mean(counts)
+        sem = np.std(counts, ddof=1) / np.sqrt(len(counts))
+        assert abs(mean - expected) < 4 * max(sem, 1.0)
+
+    def test_failure_counts_unbiased_at_vmin(self):
+        minutes = 300.0
+        expected = OutcomeMixModel().total_rate_per_min(2400, 920) * minutes
+        counts = [
+            fly(seed, minutes, point_idx=2).failure_count
+            for seed in range(12)
+        ]
+        mean = np.mean(counts)
+        sem = np.std(counts, ddof=1) / np.sqrt(len(counts))
+        assert abs(mean - expected) < 4 * max(sem, 1.0)
+
+
+class TestIntervalCoverage:
+    def test_poisson_intervals_cover_expectation(self):
+        # 95% intervals around each seed's count should contain the true
+        # mean in ~19/20 cases; with 15 seeds, demand >= 12 hits.
+        minutes = 120.0
+        expected = LevelRateModel().total_rate_per_min(980, 950) * minutes
+        hits = 0
+        for seed in range(15):
+            count = fly(seed, minutes).upset_count
+            ci = poisson_interval(count)
+            if ci.lower <= expected <= ci.upper:
+                hits += 1
+        assert hits >= 12
+
+
+class TestSeedIndependence:
+    def test_sessions_decorrelated_across_seeds(self):
+        counts = [fly(seed, 60.0).upset_count for seed in range(10)]
+        # All-equal counts would indicate a broken RNG wiring.
+        assert len(set(counts)) > 1
+
+    def test_same_seed_bitwise_reproducible(self):
+        a = fly(77, 90.0)
+        b = fly(77, 90.0)
+        assert a.upset_count == b.upset_count
+        assert a.failure_count == b.failure_count
+        assert [u.time_s for u in a.upsets.upsets] == [
+            u.time_s for u in b.upsets.upsets
+        ]
+
+    def test_sessions_within_campaign_independent(self):
+        # The same RNG root drives all four sessions; their event counts
+        # must not be identical copies.
+        from repro.harness.campaign import Campaign
+
+        result = Campaign(seed=13, time_scale=0.05).run()
+        counts = [
+            result.session(label).upset_count for label in result.labels()
+        ]
+        assert len(set(counts)) > 1

@@ -1,0 +1,69 @@
+"""Detector coverage measurement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.resilience.evaluation import (
+    CoverageReport,
+    abft_matvec_trial,
+    measure_detector_coverage,
+)
+
+
+class TestCoverageReport:
+    def test_coverage_and_false_alarms(self):
+        report = CoverageReport(
+            trials=100, effective_faults=40, detected=38, false_alarms=3
+        )
+        assert report.coverage == pytest.approx(0.95)
+        assert report.false_alarm_rate == pytest.approx(0.05)
+
+    def test_coverage_requires_effective_faults(self):
+        report = CoverageReport(
+            trials=10, effective_faults=0, detected=0, false_alarms=0
+        )
+        with pytest.raises(AnalysisError):
+            report.coverage
+
+
+class TestAbftCoverage:
+    def test_abft_detects_effective_faults(self):
+        trial = abft_matvec_trial(n=48, seed=2)
+        rng = np.random.default_rng(3)
+        report = measure_detector_coverage(trial, 200, rng)
+        assert report.effective_faults > 50
+        # ABFT's guarantee: every fault that changed the result violated
+        # the checksum relation.
+        assert report.coverage > 0.98
+
+    def test_abft_false_alarm_rate_low(self):
+        trial = abft_matvec_trial(n=48, seed=2)
+        rng = np.random.default_rng(4)
+        report = measure_detector_coverage(trial, 200, rng)
+        assert report.false_alarm_rate < 0.5
+
+    def test_validation(self):
+        trial = abft_matvec_trial(n=16, seed=0)
+        with pytest.raises(AnalysisError):
+            measure_detector_coverage(trial, 0, np.random.default_rng(0))
+
+
+class TestCustomDetector:
+    def test_blind_detector_zero_coverage(self):
+        def blind(rng):
+            return True, False  # always a fault, never detected
+
+        report = measure_detector_coverage(
+            blind, 50, np.random.default_rng(0)
+        )
+        assert report.coverage == 0.0
+
+    def test_paranoid_detector_full_false_alarms(self):
+        def paranoid(rng):
+            return False, True  # never a fault, always fires
+
+        report = measure_detector_coverage(
+            paranoid, 50, np.random.default_rng(0)
+        )
+        assert report.false_alarm_rate == 1.0

@@ -1,0 +1,85 @@
+"""DMR/TMR execution wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.resilience.redundancy import (
+    dmr_run,
+    redundancy_energy_overhead,
+    tmr_run,
+)
+from repro.workloads.suite import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload("EP", scale=0.1, seed=12)
+
+
+def corrupt_replica(target_replica):
+    """Fault hook corrupting one replica's largest array."""
+
+    def hook(state, replica):
+        if replica != target_replica:
+            return
+        name = max(state, key=lambda k: state[k].nbytes)
+        arr = np.ascontiguousarray(state[name])
+        state[name] = arr
+        arr.reshape(-1)[arr.size // 3] *= 1e6
+
+    return hook
+
+
+class TestDmr:
+    def test_clean_agreement(self, workload):
+        result = dmr_run(workload)
+        assert not result.detected
+        assert result.replicas == 2
+
+    def test_faulty_replica_detected(self, workload):
+        result = dmr_run(workload, fault_hook=corrupt_replica(1))
+        assert result.detected
+        assert not result.corrected
+
+
+class TestTmr:
+    def test_clean_agreement(self, workload):
+        result = tmr_run(workload)
+        assert not result.detected
+        assert result.replicas == 3
+
+    def test_single_fault_corrected(self, workload):
+        result = tmr_run(workload, fault_hook=corrupt_replica(2))
+        assert result.detected
+        assert result.corrected
+        # The majority value matches the fault-free golden.
+        assert workload.verify(result.result)
+
+    def test_two_faults_uncorrectable(self, workload):
+        def hook(state, replica):
+            if replica in (0, 1):
+                # Different *effective* corruption per replica: scale a
+                # block of accepted samples so each replica's sums move
+                # differently -- a guaranteed three-way split.
+                name = max(state, key=lambda k: state[k].nbytes)
+                arr = np.ascontiguousarray(state[name])
+                state[name] = arr
+                flat = arr.reshape(-1)
+                flat[: flat.size // 4] *= 0.5 if replica == 0 else 0.25
+
+        result = tmr_run(make_workload("EP", scale=0.1, seed=12), fault_hook=hook)
+        assert result.detected
+        assert not result.corrected
+
+
+class TestOverhead:
+    def test_dmr_costs_one_extra_run(self):
+        assert redundancy_energy_overhead(2) == pytest.approx(1.0)
+
+    def test_tmr_costs_two(self):
+        assert redundancy_energy_overhead(3) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            redundancy_energy_overhead(0)

@@ -1,0 +1,82 @@
+"""Budgeted selective hardening."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.injection.microarch import MicroarchInjector
+from repro.resilience.selective import (
+    HardeningOption,
+    options_from_microarch,
+    select_hardening,
+)
+
+
+def option(name, fit, cost, coverage=0.95):
+    return HardeningOption(
+        structure=name, sdc_fit=fit, coverage=coverage, cost=cost
+    )
+
+
+class TestSelection:
+    def test_highest_density_first(self):
+        choice = select_hardening(
+            [option("a", fit=10.0, cost=5.0), option("b", fit=10.0, cost=1.0)],
+            budget=1.0,
+        )
+        assert [o.structure for o in choice.selected] == ["b"]
+
+    def test_budget_respected(self):
+        options = [option(f"s{i}", fit=1.0, cost=1.0) for i in range(10)]
+        choice = select_hardening(options, budget=3.5)
+        assert len(choice.selected) == 3
+        assert choice.total_cost <= 3.5
+
+    def test_fit_accounting(self):
+        choice = select_hardening(
+            [option("a", fit=10.0, cost=1.0), option("b", fit=4.0, cost=100.0)],
+            budget=2.0,
+        )
+        assert choice.fit_removed == pytest.approx(9.5)
+        assert choice.fit_remaining == pytest.approx(4.5)
+        assert choice.reduction_fraction == pytest.approx(9.5 / 14.0)
+
+    def test_large_budget_takes_everything(self):
+        options = [option(f"s{i}", fit=2.0, cost=1.0) for i in range(4)]
+        choice = select_hardening(options, budget=100.0)
+        assert len(choice.selected) == 4
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            select_hardening([], budget=1.0)
+        with pytest.raises(AnalysisError):
+            select_hardening([option("a", 1.0, 1.0)], budget=0.0)
+        with pytest.raises(AnalysisError):
+            HardeningOption(structure="x", sdc_fit=1.0, coverage=0.0, cost=1.0)
+        with pytest.raises(AnalysisError):
+            HardeningOption(structure="x", sdc_fit=1.0, coverage=0.5, cost=0.0)
+
+
+class TestFromMicroarch:
+    def test_builds_options_for_vulnerable_structures(self):
+        injector = MicroarchInjector()
+        options = options_from_microarch(injector)
+        names = {o.structure for o in options}
+        assert "fp_rf" in names
+        assert "btb" not in names  # zero SDC contribution
+
+    def test_register_files_selected_first(self):
+        # The register files carry most of the SDC FIT at modest size:
+        # any sane budget picks them before the big-but-benign BTB.
+        injector = MicroarchInjector()
+        options = options_from_microarch(injector)
+        choice = select_hardening(options, budget=sum(o.cost for o in options) / 3)
+        selected = {o.structure for o in choice.selected}
+        assert "int_rf" in selected or "fp_rf" in selected
+
+    def test_undervolt_scales_all_fits(self):
+        injector = MicroarchInjector()
+        nominal = options_from_microarch(injector, susceptibility_multiplier=1.0)
+        scaled = options_from_microarch(injector, susceptibility_multiplier=1.5)
+        by_name = {o.structure: o for o in nominal}
+        for o in scaled:
+            assert o.sdc_fit == pytest.approx(by_name[o.structure].sdc_fit * 1.5)

@@ -1,0 +1,123 @@
+"""Set-associative cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.soc.cache_sim import (
+    CacheConfig,
+    CacheHierarchy,
+    SetAssociativeCache,
+    XGENE2_L1D,
+    XGENE2_L2,
+    XGENE2_L3,
+)
+
+
+class TestConfig:
+    def test_xgene2_geometries(self):
+        assert XGENE2_L1D.sets == 256  # 32KB / (2 * 64)
+        assert XGENE2_L2.sets == 512
+        assert XGENE2_L3.sets == 8192
+        assert XGENE2_L3.lines == 131072
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(GeometryError):
+            CacheConfig("x", capacity_bytes=1000, ways=3, line_bytes=64)
+        with pytest.raises(GeometryError):
+            CacheConfig("x", capacity_bytes=0, ways=2)
+
+
+class TestSingleCache:
+    def test_first_access_misses_second_hits(self):
+        cache = SetAssociativeCache(CacheConfig("t", 1024, ways=2))
+        assert not cache.access(5)
+        assert cache.access(5)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        # One set: capacity 2 lines (2 ways, 1 set).
+        cache = SetAssociativeCache(CacheConfig("t", 128, ways=2))
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # 0 is now MRU
+        cache.access(2)  # evicts 1 (LRU)
+        assert cache.access(0)  # still resident
+        assert not cache.access(1)  # was evicted
+
+    def test_occupancy_grows_to_full(self):
+        config = CacheConfig("t", 4096, ways=4)
+        cache = SetAssociativeCache(config)
+        assert cache.occupancy == 0.0
+        for line in range(config.lines):
+            cache.access(line)
+        assert cache.occupancy == 1.0
+
+    def test_reuse_probability(self):
+        cache = SetAssociativeCache(CacheConfig("t", 4096, ways=4))
+        for line in range(10):
+            cache.access(line)
+        for line in range(5):  # re-read half
+            cache.access(line)
+        assert cache.stats.reuse_probability == pytest.approx(0.5)
+
+    def test_eviction_counter(self):
+        cache = SetAssociativeCache(CacheConfig("t", 128, ways=2))
+        for line in range(5):
+            cache.access(line)
+        assert cache.stats.evictions == 3
+
+    @given(
+        addrs=st.lists(
+            st.integers(min_value=0, max_value=10_000), max_size=200
+        )
+    )
+    @settings(max_examples=30)
+    def test_invariants_property(self, addrs):
+        cache = SetAssociativeCache(CacheConfig("t", 2048, ways=2))
+        for a in addrs:
+            cache.access(a)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(addrs)
+        assert stats.fills == stats.misses
+        assert cache.resident_lines <= cache.config.lines
+        assert cache.resident_lines == stats.fills - stats.evictions
+        assert stats.reused_fills <= stats.fills
+
+
+class TestHierarchy:
+    def test_miss_flows_down_and_fills_all_levels(self):
+        h = CacheHierarchy()
+        assert h.access(0) == "mem"
+        assert h.access(0) == "l1d"
+
+    def test_l1_eviction_falls_back_to_l2(self):
+        h = CacheHierarchy(
+            l1=CacheConfig("l1d", 128, ways=2),
+            l2=CacheConfig("l2", 4096, ways=4),
+            l3=CacheConfig("l3", 65536, ways=8),
+        )
+        # Touch 3 lines mapping to the same (single) L1 set.
+        for line in range(3):
+            h.access(line * 64)
+        # Line 0 left the tiny L1 but still hits the L2.
+        assert h.access(0) == "l2"
+
+    def test_replay_reports_all_levels(self):
+        h = CacheHierarchy()
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 2**20, size=2000)
+        report = h.replay(trace)
+        assert set(report.occupancy) == {"l1d", "l2", "l3"}
+        for name in ("l1d", "l2", "l3"):
+            assert 0.0 <= report.occupancy[name] <= 1.0
+            assert 0.0 <= report.reuse_probability[name] <= 1.0
+
+    def test_small_working_set_hits_l1(self):
+        h = CacheHierarchy()
+        trace = np.tile(np.arange(0, 4096, 64), 50)
+        report = h.replay(trace)
+        assert report.hit_rate["l1d"] > 0.95

@@ -1,0 +1,96 @@
+"""DRAM retention/refresh model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.dram import DramConfig, RefreshPowerModel, RetentionModel
+
+
+@pytest.fixture(scope="module")
+def retention():
+    return RetentionModel()
+
+
+class TestConfig:
+    def test_platform_defaults(self):
+        config = DramConfig()
+        assert config.data_rate_mtps == 1866
+        assert config.refresh_interval_ms == 64.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DramConfig(capacity_bytes=0)
+        with pytest.raises(ConfigurationError):
+            DramConfig(refresh_interval_ms=0.0)
+
+
+class TestRetention:
+    def test_jedec_interval_extremely_safe(self, retention):
+        # At 64 ms vs a 30 s median, cell failure is essentially nil.
+        p = retention.cell_failure_probability(0.064)
+        assert p < 1e-7
+
+    def test_failure_grows_with_interval(self, retention):
+        probs = [
+            retention.cell_failure_probability(t) for t in (0.064, 1.0, 10.0, 60.0)
+        ]
+        assert probs == sorted(probs)
+
+    def test_temperature_halving(self, retention):
+        assert retention.median_at(55.0) == pytest.approx(
+            retention.median_retention_s / 2.0
+        )
+        assert retention.median_at(35.0) == pytest.approx(
+            retention.median_retention_s * 2.0
+        )
+
+    def test_hotter_die_fails_sooner(self, retention):
+        cool = retention.cell_failure_probability(1.0, temperature_c=45.0)
+        hot = retention.cell_failure_probability(1.0, temperature_c=85.0)
+        assert hot > cool
+
+    def test_max_interval_inverts_failure_budget(self, retention):
+        bits = 8 * 8 * 1024 ** 3
+        interval = retention.max_refresh_interval_s(
+            bits, expected_failures_budget=0.1
+        )
+        failures = retention.expected_failing_cells(bits, interval)
+        assert failures == pytest.approx(0.1, rel=0.05)
+
+    def test_remapping_budget_stretches_past_jedec(self, retention):
+        # With a weak-cell budget handled by ECC/row remapping (~1e4
+        # cells over 64 Gbit), the safe interval stretches past the
+        # pessimistic JEDEC 64 ms -- the DRAM-side guardband.
+        bits = 8 * 8 * 1024 ** 3
+        interval = retention.max_refresh_interval_s(
+            bits, expected_failures_budget=1e4
+        )
+        assert interval > 0.064
+
+    def test_validation(self, retention):
+        with pytest.raises(ConfigurationError):
+            RetentionModel(median_retention_s=0.0)
+        with pytest.raises(ConfigurationError):
+            retention.cell_failure_probability(0.0)
+        with pytest.raises(ConfigurationError):
+            retention.expected_failing_cells(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            retention.max_refresh_interval_s(100, expected_failures_budget=0.0)
+
+
+class TestRefreshPower:
+    def test_power_inverse_in_interval(self):
+        model = RefreshPowerModel()
+        assert model.refresh_power_w(0.064) == pytest.approx(
+            2 * model.refresh_power_w(0.128)
+        )
+
+    def test_stretching_saves_power(self):
+        model = RefreshPowerModel()
+        assert model.savings_w(0.064, 0.256) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RefreshPowerModel(energy_per_refresh_j=0.0)
+        with pytest.raises(ConfigurationError):
+            RefreshPowerModel().refresh_power_w(0.0)

@@ -1,0 +1,103 @@
+"""X-Gene 2 structure inventory (Table 1)."""
+
+import pytest
+
+from repro import constants
+from repro.errors import GeometryError
+from repro.soc.geometry import (
+    CacheLevel,
+    Protection,
+    StructureSpec,
+    total_capacity_bits,
+    xgene2_structures,
+)
+from repro.sram.protection import ParityCodec, SecdedCodec
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return xgene2_structures()
+
+
+class TestInventory:
+    def test_counts_per_level(self, specs):
+        by_level = {}
+        for s in specs:
+            by_level.setdefault(s.level, []).append(s)
+        assert len(by_level[CacheLevel.L1]) == 16  # 8 x (L1I + L1D)
+        assert len(by_level[CacheLevel.TLB]) == 24  # 8 x (ITLB+DTLB+L2TLB)
+        assert len(by_level[CacheLevel.L2]) == 4  # per pair
+        assert len(by_level[CacheLevel.L3]) == 1
+
+    def test_l1_capacities(self, specs):
+        l1 = [s for s in specs if s.level == CacheLevel.L1]
+        assert all(s.capacity_bits == 32 * 1024 * 8 for s in l1)
+
+    def test_l2_l3_capacities(self, specs):
+        l2 = [s for s in specs if s.level == CacheLevel.L2]
+        l3 = [s for s in specs if s.level == CacheLevel.L3]
+        assert all(s.capacity_bits == 256 * 1024 * 8 for s in l2)
+        assert l3[0].capacity_bits == 8 * 1024 * 1024 * 8
+
+    def test_protection_assignment_matches_table1(self, specs):
+        for s in specs:
+            if s.level in (CacheLevel.TLB, CacheLevel.L1):
+                assert s.protection == Protection.PARITY
+            else:
+                assert s.protection == Protection.SECDED
+
+    def test_domain_assignment(self, specs):
+        for s in specs:
+            expected = "soc" if s.level == CacheLevel.L3 else "pmd"
+            assert s.domain == expected
+
+    def test_l3_not_interleaved(self, specs):
+        l3 = next(s for s in specs if s.level == CacheLevel.L3)
+        assert l3.interleave == 1
+
+    def test_names_unique(self, specs):
+        names = [s.name for s in specs]
+        assert len(names) == len(set(names))
+
+    def test_total_capacity_near_ten_megabytes(self, specs):
+        total_bytes = total_capacity_bits(specs) / 8
+        # L1 0.5 MiB + L2 1 MiB + L3 8 MiB + TLBs
+        assert 9.5 * 1024 * 1024 < total_bytes < 10 * 1024 * 1024
+
+
+class TestSpec:
+    def test_words_computed(self):
+        spec = StructureSpec(
+            name="x",
+            level=CacheLevel.L2,
+            capacity_bits=1024,
+            protection=Protection.SECDED,
+            domain="pmd",
+            word_data_bits=64,
+            interleave=4,
+        )
+        assert spec.words == 16
+
+    def test_indivisible_capacity_rejected(self):
+        with pytest.raises(GeometryError):
+            StructureSpec(
+                name="x",
+                level=CacheLevel.L2,
+                capacity_bits=100,
+                protection=Protection.SECDED,
+                domain="pmd",
+                word_data_bits=64,
+                interleave=4,
+            )
+
+    def test_make_codec_types(self, specs):
+        parity = next(s for s in specs if s.protection == Protection.PARITY)
+        secded = next(s for s in specs if s.protection == Protection.SECDED)
+        assert isinstance(parity.make_codec(), ParityCodec)
+        assert isinstance(secded.make_codec(), SecdedCodec)
+
+    def test_make_geometry_consistent(self, specs):
+        for s in specs[:5]:
+            geo = s.make_geometry()
+            assert geo.words == s.words
+            assert geo.data_bits == s.word_data_bits

@@ -1,0 +1,75 @@
+"""Package thermal model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.power import PowerModel
+from repro.soc.thermal import ThermalModel
+
+
+@pytest.fixture(scope="module")
+def thermal():
+    return ThermalModel()
+
+
+class TestSteadyState:
+    def test_zero_power_ambient(self, thermal):
+        assert thermal.steady_state_c(0.0) == pytest.approx(thermal.ambient_c)
+
+    def test_linear_in_power(self, thermal):
+        t10 = thermal.steady_state_c(10.0) - thermal.ambient_c
+        t20 = thermal.steady_state_c(20.0) - thermal.ambient_c
+        assert t20 == pytest.approx(2 * t10)
+
+    def test_beam_room_window_at_nominal_power(self, thermal):
+        # At the measured 18-20 W, the default model lands in the
+        # paper's verified 40-45 degC window.
+        watts = PowerModel.calibrated().total_watts(980, 950, 2400)
+        assert thermal.beam_room_consistent(watts)
+
+    def test_vmin_guard_holds_at_all_studied_points(self, thermal):
+        power = PowerModel.calibrated()
+        for pmd, soc, freq in ((980, 950, 2400), (920, 920, 2400), (790, 950, 900)):
+            watts = power.total_watts(pmd, soc, freq)
+            assert thermal.vmin_holds(watts)
+
+    def test_vmin_guard_fails_when_overheated(self):
+        hot = ThermalModel(resistance_c_per_w=3.0)
+        assert not hot.vmin_holds(20.0)
+
+
+class TestTransient:
+    def test_starts_at_ambient_converges_to_steady(self, thermal):
+        assert thermal.transient_c(20.0, 0.0) == pytest.approx(
+            thermal.ambient_c
+        )
+        late = thermal.transient_c(20.0, 10 * thermal.time_constant_s)
+        assert late == pytest.approx(thermal.steady_state_c(20.0), abs=0.01)
+
+    def test_monotone_rise(self, thermal):
+        temps = [thermal.transient_c(20.0, t) for t in (0, 30, 90, 300)]
+        assert temps == sorted(temps)
+
+    def test_cooldown_from_hot_start(self, thermal):
+        temp = thermal.transient_c(0.0, 90.0, start_c=60.0)
+        assert thermal.ambient_c < temp < 60.0
+
+    def test_settle_time(self, thermal):
+        t99 = thermal.settle_time_s(0.99)
+        gap = abs(
+            thermal.transient_c(20.0, t99) - thermal.steady_state_c(20.0)
+        )
+        full_swing = thermal.steady_state_c(20.0) - thermal.ambient_c
+        assert gap <= 0.011 * full_swing
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, thermal):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(resistance_c_per_w=0.0)
+        with pytest.raises(ConfigurationError):
+            thermal.steady_state_c(-1.0)
+        with pytest.raises(ConfigurationError):
+            thermal.transient_c(10.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            thermal.settle_time_s(1.0)

@@ -1,0 +1,65 @@
+"""Qcrit bit-cell model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram.cell import BitCell, QcritModel
+
+
+class TestQcritModel:
+    def test_qcrit_linear_in_voltage(self):
+        model = QcritModel(qcrit_nominal_fc=1.5, nominal_mv=980)
+        assert model.qcrit_fc(980) == pytest.approx(1.5)
+        assert model.qcrit_fc(490) == pytest.approx(0.75)
+
+    def test_qcrit_ratio_below_one_when_undervolted(self):
+        model = QcritModel()
+        assert model.qcrit_ratio(920) < 1.0
+        assert model.qcrit_ratio(980) == pytest.approx(1.0)
+
+    def test_node_capacitance_consistent(self):
+        model = QcritModel(qcrit_nominal_fc=2.0, nominal_mv=1000)
+        assert model.node_capacitance_ff == pytest.approx(2.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QcritModel(qcrit_nominal_fc=0.0)
+        with pytest.raises(ConfigurationError):
+            QcritModel(nominal_mv=-5)
+        with pytest.raises(ConfigurationError):
+            QcritModel().qcrit_fc(0)
+
+
+class TestBitCell:
+    def test_upset_probability_increases_at_lower_voltage(self):
+        cell = BitCell()
+        probs = [cell.upset_probability(v) for v in (980, 930, 920, 790)]
+        assert probs == sorted(probs)
+
+    def test_sensitivity_ratio_above_one_below_nominal(self):
+        cell = BitCell()
+        assert cell.sensitivity_ratio(980) == pytest.approx(1.0)
+        assert cell.sensitivity_ratio(790) > cell.sensitivity_ratio(920) > 1.0
+
+    def test_probability_bounded(self):
+        cell = BitCell()
+        for v in (500, 800, 980, 1200):
+            assert 0.0 < cell.upset_probability(v) < 1.0
+
+    def test_monte_carlo_matches_analytic(self):
+        cell = BitCell()
+        rng = np.random.default_rng(3)
+        n = 20_000
+        hits = sum(cell.strike_upsets(920, rng) for _ in range(n))
+        assert hits / n == pytest.approx(cell.upset_probability(920), abs=0.01)
+
+    def test_bad_slope_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitCell(qs_fc=0.0)
+
+    def test_deposited_charge_positive(self, rng):
+        cell = BitCell()
+        charges = [cell.deposited_charge_fc(rng) for _ in range(100)]
+        assert all(c >= 0 for c in charges)
+        assert np.mean(charges) == pytest.approx(cell.qs_fc, rel=0.3)

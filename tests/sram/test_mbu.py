@@ -1,0 +1,98 @@
+"""Multi-bit-upset cluster model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sram.mbu import MbuCluster, MbuModel
+
+
+class TestMbuCluster:
+    def test_valid_cluster(self):
+        c = MbuCluster(size=3, offsets=(0, 1, 2))
+        assert c.size == 3
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MbuCluster(size=2, offsets=(0, 1, 2))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MbuCluster(size=0, offsets=())
+
+
+class TestMbuModel:
+    def test_p_multi_escalates_with_undervolt(self):
+        model = MbuModel()
+        assert model.p_multi(0.2) > model.p_multi(0.05) > model.p_multi(0.0)
+
+    def test_p_multi_capped(self):
+        model = MbuModel(p_multi_nominal=0.5, voltage_escalation=50.0)
+        assert model.p_multi(0.5) <= 0.9
+
+    def test_sample_sizes_bounded(self, rng):
+        model = MbuModel(max_size=4)
+        sizes = [model.sample_size(rng) for _ in range(500)]
+        assert all(1 <= s <= 4 for s in sizes)
+
+    def test_single_bit_dominates_at_nominal(self, rng):
+        model = MbuModel(p_multi_nominal=0.05)
+        sizes = [model.sample_size(rng, 0.0) for _ in range(4000)]
+        multi_frac = np.mean([s > 1 for s in sizes])
+        assert multi_frac == pytest.approx(0.05, abs=0.015)
+
+    def test_cluster_offsets_are_adjacent_run(self, rng):
+        model = MbuModel()
+        for _ in range(50):
+            c = model.sample_cluster(rng, 0.1)
+            assert c.offsets == tuple(range(c.size))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MbuModel(p_multi_nominal=1.0)
+        with pytest.raises(ConfigurationError):
+            MbuModel(continuation=-0.1)
+        with pytest.raises(ConfigurationError):
+            MbuModel(voltage_escalation=-1)
+        with pytest.raises(ConfigurationError):
+            MbuModel(max_size=0)
+
+
+class TestInterleaving:
+    def test_no_interleave_keeps_cluster_in_one_word(self):
+        model = MbuModel()
+        cluster = MbuCluster(size=3, offsets=(0, 1, 2))
+        split = model.split_by_interleaving(cluster, interleave=1, word_bits=72)
+        assert split == [(0, 3)]
+
+    def test_four_way_interleave_spreads_cluster(self):
+        model = MbuModel()
+        cluster = MbuCluster(size=3, offsets=(0, 1, 2))
+        split = model.split_by_interleaving(cluster, interleave=4, word_bits=72)
+        assert split == [(0, 1), (1, 1), (2, 1)]
+
+    def test_cluster_wider_than_interleave_wraps(self):
+        model = MbuModel()
+        cluster = MbuCluster(size=5, offsets=(0, 1, 2, 3, 4))
+        split = model.split_by_interleaving(cluster, interleave=4, word_bits=72)
+        assert dict(split) == {0: 2, 1: 1, 2: 1, 3: 1}
+
+    def test_bad_arguments_rejected(self):
+        model = MbuModel()
+        cluster = MbuCluster(size=1, offsets=(0,))
+        with pytest.raises(ConfigurationError):
+            model.split_by_interleaving(cluster, 0, 72)
+        with pytest.raises(ConfigurationError):
+            model.split_by_interleaving(cluster, 4, 0)
+
+    @given(
+        size=st.integers(min_value=1, max_value=8),
+        interleave=st.integers(min_value=1, max_value=8),
+    )
+    def test_split_conserves_bit_count(self, size, interleave):
+        model = MbuModel()
+        cluster = MbuCluster(size=size, offsets=tuple(range(size)))
+        split = model.split_by_interleaving(cluster, interleave, 72)
+        assert sum(n for _, n in split) == size

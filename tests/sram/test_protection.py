@@ -1,0 +1,166 @@
+"""Parity and SECDED codecs: exhaustive small cases + property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtectionError
+from repro.sram.protection import (
+    CodecResult,
+    DecodeStatus,
+    ParityCodec,
+    SecdedCodec,
+    flips_from_bit_indices,
+)
+
+WORDS64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+WORDS32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+# --- parity -------------------------------------------------------------------
+
+
+class TestParity:
+    def test_clean_roundtrip(self):
+        codec = ParityCodec(32)
+        for data in (0, 1, 0xDEADBEEF, (1 << 32) - 1):
+            assert codec.decode(codec.encode(data)) == CodecResult(
+                DecodeStatus.CLEAN, data
+            )
+
+    def test_single_flip_detected(self):
+        codec = ParityCodec(32)
+        word = codec.encode(0xCAFE) ^ (1 << 5)
+        assert codec.decode(word).status == DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_parity_bit_flip_detected(self):
+        codec = ParityCodec(32)
+        word = codec.encode(0xCAFE) ^ (1 << 32)
+        assert codec.decode(word).status == DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_double_flip_silent(self):
+        codec = ParityCodec(32)
+        result = codec.classify(0xCAFE, (1 << 3) | (1 << 9))
+        assert result.status == DecodeStatus.SILENT
+
+    def test_data_too_wide_rejected(self):
+        with pytest.raises(ProtectionError):
+            ParityCodec(8).encode(256)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ProtectionError):
+            ParityCodec(0)
+
+    @given(data=WORDS32, bit=st.integers(min_value=0, max_value=32))
+    def test_any_single_flip_detected(self, data, bit):
+        codec = ParityCodec(32)
+        result = codec.classify(data, 1 << bit)
+        # A detected flip never silently corrupts; a flip confined to
+        # the parity bit leaves the data intact.
+        assert result.status == DecodeStatus.DETECTED_UNCORRECTABLE
+
+    @given(
+        data=WORDS32,
+        bits=st.sets(st.integers(min_value=0, max_value=32), min_size=1, max_size=8),
+    )
+    def test_odd_flip_counts_always_detected(self, data, bits):
+        codec = ParityCodec(32)
+        if len(bits) % 2 == 1:
+            result = codec.classify(data, flips_from_bit_indices(tuple(bits)))
+            assert result.status == DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+# --- SECDED -------------------------------------------------------------------
+
+
+class TestSecded:
+    def test_geometry_is_72_64(self):
+        codec = SecdedCodec(64)
+        assert codec.data_bits == 64
+        assert codec.check_bits == 8
+        assert codec.word_bits == 72
+
+    def test_clean_roundtrip(self):
+        codec = SecdedCodec(64)
+        for data in (0, 1, 0xDEADBEEFCAFEBABE, (1 << 64) - 1):
+            result = codec.decode(codec.encode(data))
+            assert result == CodecResult(DecodeStatus.CLEAN, data)
+
+    def test_every_single_bit_error_corrected(self):
+        codec = SecdedCodec(16)
+        data = 0xA5C3
+        for bit in range(codec.word_bits):
+            result = codec.classify(data, 1 << bit)
+            assert result.status == DecodeStatus.CORRECTED
+            assert result.data == data
+
+    def test_every_double_bit_error_detected(self):
+        codec = SecdedCodec(16)
+        data = 0x1234
+        n = codec.word_bits
+        for i in range(n):
+            for j in range(i + 1, n):
+                result = codec.classify(data, (1 << i) | (1 << j))
+                assert result.status == DecodeStatus.DETECTED_UNCORRECTABLE, (
+                    f"double flip ({i},{j}) not detected"
+                )
+
+    def test_triple_bit_errors_can_silently_miscorrect(self):
+        # Section 6.2 case 1: SECDED sees some triple flips as a
+        # correctable single-bit error and hands out corrupted data.
+        codec = SecdedCodec(64)
+        data = 0x0123456789ABCDEF
+        silent = 0
+        n = codec.word_bits
+        for i in range(0, n, 5):
+            for j in range(i + 1, n, 7):
+                for k in range(j + 1, n, 11):
+                    mask = (1 << i) | (1 << j) | (1 << k)
+                    if codec.classify(data, mask).status == DecodeStatus.SILENT:
+                        silent += 1
+        assert silent > 0
+
+    def test_data_too_wide_rejected(self):
+        with pytest.raises(ProtectionError):
+            SecdedCodec(8).encode(1 << 8)
+
+    def test_codeword_too_wide_rejected(self):
+        codec = SecdedCodec(8)
+        with pytest.raises(ProtectionError):
+            codec.decode(1 << codec.word_bits)
+
+    @given(data=WORDS64)
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, data):
+        codec = SecdedCodec(64)
+        result = codec.decode(codec.encode(data))
+        assert result.status == DecodeStatus.CLEAN
+        assert result.data == data
+
+    @given(data=WORDS64, bit=st.integers(min_value=0, max_value=71))
+    @settings(max_examples=100)
+    def test_sec_property(self, data, bit):
+        codec = SecdedCodec(64)
+        result = codec.classify(data, 1 << bit)
+        assert result.status == DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @given(
+        data=WORDS64,
+        bits=st.sets(st.integers(min_value=0, max_value=71), min_size=2, max_size=2),
+    )
+    @settings(max_examples=100)
+    def test_ded_property(self, data, bits):
+        codec = SecdedCodec(64)
+        mask = flips_from_bit_indices(tuple(bits))
+        result = codec.classify(data, mask)
+        assert result.status == DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+def test_flips_from_bit_indices_rejects_negative():
+    with pytest.raises(ProtectionError):
+        flips_from_bit_indices((3, -1))
+
+
+def test_flips_from_bit_indices_builds_mask():
+    assert flips_from_bit_indices((0, 3, 5)) == 0b101001

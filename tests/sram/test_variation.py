@@ -1,0 +1,70 @@
+"""Process-variation (RDF) model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram.variation import ProcessVariationModel
+
+
+class TestCellFailProbability:
+    def test_monotone_in_voltage(self):
+        model = ProcessVariationModel()
+        probs = [model.cell_fail_probability(v) for v in (980, 900, 800, 700)]
+        assert probs == sorted(probs)
+
+    def test_far_above_mean_is_negligible(self):
+        model = ProcessVariationModel(mean_vfail_mv=620, sigma_vfail_mv=38)
+        assert model.cell_fail_probability(980) < 1e-15
+
+    def test_at_mean_is_half(self):
+        model = ProcessVariationModel(mean_vfail_mv=620, sigma_vfail_mv=38)
+        assert model.cell_fail_probability(620) == pytest.approx(0.5)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariationModel(sigma_vfail_mv=0)
+        with pytest.raises(ConfigurationError):
+            ProcessVariationModel(cells=0)
+        with pytest.raises(ConfigurationError):
+            ProcessVariationModel().cell_fail_probability(0)
+
+
+class TestChipLevel:
+    def test_expected_failing_cells_scales_with_cells(self):
+        small = ProcessVariationModel(cells=1_000)
+        big = ProcessVariationModel(cells=1_000_000)
+        v = 760
+        assert big.expected_failing_cells(v) == pytest.approx(
+            1000 * small.expected_failing_cells(v)
+        )
+
+    def test_any_cell_fails_probability_bounded(self):
+        model = ProcessVariationModel()
+        for v in (980, 800, 700, 600):
+            p = model.any_cell_fails_probability(v)
+            assert 0.0 <= p <= 1.0
+
+    def test_safe_vmin_on_grid_and_ordered(self):
+        model = ProcessVariationModel()
+        vmin = model.safe_vmin_mv(step_mv=5)
+        assert vmin % 5 == 0
+        assert model.any_cell_fails_probability(vmin) < 0.01
+        assert model.any_cell_fails_probability(vmin - 15) >= 0.01
+
+    def test_bigger_chip_has_higher_vmin(self):
+        small = ProcessVariationModel(cells=10**6)
+        big = ProcessVariationModel(cells=10**9)
+        assert big.safe_vmin_mv() >= small.safe_vmin_mv()
+
+    def test_safe_vmin_validates_target(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariationModel().safe_vmin_mv(target_fail_prob=0.0)
+
+    def test_sample_failing_cells_poisson_mean(self):
+        model = ProcessVariationModel(cells=10**7)
+        rng = np.random.default_rng(0)
+        v = 740
+        lam = model.expected_failing_cells(v)
+        samples = [model.sample_failing_cells(v, rng) for _ in range(300)]
+        assert np.mean(samples) == pytest.approx(lam, rel=0.2)

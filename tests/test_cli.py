@@ -1,0 +1,62 @@
+"""The repro-campaign CLI."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def stored_campaign(tmp_path_factory):
+    outdir = str(tmp_path_factory.mktemp("cli") / "run1")
+    assert main(["run", outdir, "--seed", "5", "--time-scale", "0.02"]) == 0
+    return outdir
+
+
+class TestRun:
+    def test_artifacts_written(self, stored_campaign, capsys):
+        assert os.path.exists(os.path.join(stored_campaign, "campaign.json"))
+        assert os.path.exists(os.path.join(stored_campaign, "session1.dmesg"))
+
+
+class TestAnalyze:
+    def test_summary(self, stored_campaign, capsys):
+        assert main(["analyze", stored_campaign]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign summary" in out
+        assert "session1" in out
+
+    def test_table2(self, stored_campaign, capsys):
+        assert main(["analyze", stored_campaign, "--artifact", "table2"]) == 0
+        assert "Neutron Beam Time Sessions" in capsys.readouterr().out
+
+    def test_fig11(self, stored_campaign, capsys):
+        assert main(["analyze", stored_campaign, "--artifact", "fig11"]) == 0
+        assert "FIT per category" in capsys.readouterr().out
+
+    def test_unknown_artifact_fails(self, stored_campaign, capsys):
+        assert main(["analyze", stored_campaign, "--artifact", "fig99"]) == 2
+
+
+class TestExport:
+    def test_csvs_written(self, stored_campaign, capsys):
+        assert main(["export", stored_campaign]) == 0
+        for name in ("summary", "table2", "fig8", "fig11"):
+            assert os.path.exists(
+                os.path.join(stored_campaign, f"{name}.csv")
+            )
+
+
+class TestReport:
+    def test_report_written(self, stored_campaign, capsys):
+        assert main(["report", stored_campaign]) == 0
+        path = os.path.join(stored_campaign, "REPORT.md")
+        assert os.path.exists(path)
+        assert open(path).read().startswith("# Radiation campaign report")
+
+
+class TestParser:
+    def test_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,71 @@
+"""Deterministic RNG stream management."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngStreams, as_generator
+
+
+def test_same_name_same_stream():
+    a = RngStreams(7).child("beam").random(8)
+    b = RngStreams(7).child("beam").random(8)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_differ():
+    a = RngStreams(7).child("beam").random(8)
+    b = RngStreams(7).child("injector").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngStreams(7).child("beam").random(8)
+    b = RngStreams(8).child("beam").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_qualifiers_discriminate():
+    s = RngStreams(7)
+    a = s.child("session", label="s1").random(8)
+    b = s.child("session", label="s2").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_qualifier_order_irrelevant():
+    s = RngStreams(7)
+    a = s.child("x", p=1, q=2).random(8)
+    b = s.child("x", q=2, p=1).random(8)
+    assert np.array_equal(a, b)
+
+
+def test_creation_order_irrelevant():
+    s1 = RngStreams(3)
+    first = s1.child("a").random(4)
+    s1.child("b")
+    s2 = RngStreams(3)
+    s2.child("b")
+    second = s2.child("a").random(4)
+    assert np.array_equal(first, second)
+
+
+def test_as_generator_passthrough():
+    gen = np.random.default_rng(0)
+    assert as_generator(gen) is gen
+
+
+def test_as_generator_from_int_and_none():
+    a = as_generator(5).random(4)
+    b = as_generator(5).random(4)
+    assert np.array_equal(a, b)
+    assert as_generator(None) is not None
+
+
+def test_as_generator_from_streams():
+    s = RngStreams(9)
+    a = as_generator(s, "x").random(4)
+    b = s.child("x").random(4)
+    assert np.array_equal(a, b)
+
+
+def test_seed_property():
+    assert RngStreams(11).seed == 11

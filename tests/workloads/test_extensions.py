@@ -1,0 +1,58 @@
+"""BT and SP extension kernels."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.suite import (
+    EXTENDED_SUITE_NAMES,
+    SUITE_NAMES,
+    make_extended_suite,
+    make_workload,
+)
+
+
+@pytest.fixture(params=["BT", "SP"])
+def workload(request):
+    return make_workload(request.param, scale=0.5, seed=33)
+
+
+class TestSuiteRegistry:
+    def test_extended_suite_is_superset(self):
+        assert set(SUITE_NAMES) < set(EXTENDED_SUITE_NAMES)
+        assert set(EXTENDED_SUITE_NAMES) - set(SUITE_NAMES) == {"BT", "SP"}
+
+    def test_make_extended_suite(self):
+        suite = make_extended_suite(scale=0.25)
+        assert set(suite) == set(EXTENDED_SUITE_NAMES)
+
+
+class TestExtensionKernels:
+    def test_deterministic(self, workload):
+        assert workload.run().matches(workload.run(), rtol=0.0)
+
+    def test_golden_finite(self, workload):
+        assert np.all(np.isfinite(workload.golden().verification))
+
+    def test_solver_actually_solves(self, workload):
+        # The last verification entry is the worst residual norm: the
+        # direct solves must drive it to numerical zero.
+        residual = workload.golden().verification[-1]
+        assert residual < 1e-8
+
+    def test_corruption_detected(self, workload):
+        # Corrupt the RHS: unlike the band arrays (whose first-row
+        # corners sit outside the matrix), every RHS element enters the
+        # solve, so the golden compare must notice.
+        state = workload.build_state()
+        rhs = np.ascontiguousarray(state["rhs"])
+        state["rhs"] = rhs
+        rhs.reshape(-1)[rhs.size // 2] += 10.0
+        assert not workload.verify(workload.run(state))
+
+    def test_three_dimension_checksums(self, workload):
+        # Three per-dimension checksums + one residual.
+        assert workload.golden().verification.shape == (4,)
+
+    def test_scale_changes_problem(self, workload):
+        small = make_workload(workload.name, scale=0.25, seed=33)
+        assert small.footprint_bytes() < workload.footprint_bytes()
