@@ -35,11 +35,20 @@ Subpackages
     and concrete bit-flip injection into live kernels.
 ``repro.harness``
     Vmin characterization, the Control-PC, beam sessions, campaigns.
+``repro.engine``
+    The execution layer: execution contexts, serial/parallel executors.
 ``repro.experiments``
     One driver per paper table and figure.
 """
 
 from .constants import NYC_FLUX_PER_CM2_HOUR, TNF_HALO_FLUX_PER_CM2_S
+from .engine import (
+    ExecutionContext,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
 from .core import (
     CampaignAnalysis,
     FitEstimate,
@@ -77,6 +86,11 @@ __all__ = [
     "dynamic_cross_section",
     "fit_rate",
     "ser_fit_per_mbit",
+    "ExecutionContext",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "resolve_executor",
     "BeamSession",
     "Campaign",
     "CampaignResult",

@@ -2,9 +2,11 @@
 
 Subcommands::
 
-    repro-campaign run OUTDIR [--seed N] [--time-scale X]
+    repro-campaign run OUTDIR [--seed N] [--time-scale X] [--workers N]
         Fly the Table 2 campaign and persist everything under OUTDIR
-        (campaign.json + per-session dmesg captures).
+        (campaign.json + per-session dmesg captures).  --workers N > 1
+        flies sessions on separate processes; the output is
+        bit-identical to the serial run.
 
     repro-campaign analyze OUTDIR [--artifact table2|fig8|fig11|summary]
         Reload a stored campaign and print an analysis artifact.
@@ -27,16 +29,23 @@ from typing import Dict
 
 from .core.analysis import CampaignAnalysis
 from .core.report import Table
+from .engine import resolve_executor
 from .harness.campaign import Campaign, CampaignResult
 from .injection.events import OutcomeKind
 from .io.results_dir import ResultsDirectory
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    campaign = Campaign(seed=args.seed, time_scale=args.time_scale).run()
+    executor = resolve_executor(args.workers)
+    campaign = Campaign(
+        seed=args.seed, time_scale=args.time_scale, executor=executor
+    ).run()
     results = ResultsDirectory(args.outdir)
     written = results.export_all(campaign)
-    print(f"campaign flown (seed={args.seed}, time_scale={args.time_scale})")
+    print(
+        f"campaign flown (seed={args.seed}, "
+        f"time_scale={args.time_scale}, executor={executor.name})"
+    )
     for path in written:
         print(f"  wrote {path}")
     return 0
@@ -160,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("outdir")
     run.add_argument("--seed", type=int, default=2023)
     run.add_argument("--time-scale", type=float, default=0.2)
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="sessions to fly concurrently (0/1 = serial)",
+    )
     run.set_defaults(func=_cmd_run)
 
     analyze = sub.add_parser("analyze", help="print an analysis artifact")

@@ -10,12 +10,13 @@ distribution of each headline metric -- the reproduction's answer to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..engine import Executor, SerialExecutor, WorkUnit
 from ..errors import AnalysisError
-from ..harness.campaign import Campaign
+from ..harness.campaign import Campaign, CampaignResult
 from .analysis import CampaignAnalysis
 
 #: A metric extractor over one campaign's analysis.
@@ -75,12 +76,19 @@ HEADLINE_METRICS: Dict[str, MetricFn] = {
 }
 
 
-def run_ensemble(
-    seeds: Sequence[int],
-    time_scale: float = 0.25,
-    metrics: Dict[str, MetricFn] = None,
-) -> Dict[str, MetricDistribution]:
-    """Fly the Table 2 campaign once per seed; collect metric distributions.
+def _fly_campaign(seed: int, time_scale: float) -> CampaignResult:
+    """Fly one ensemble member (module-level: must pickle)."""
+    return Campaign(seed=seed, time_scale=time_scale).run()
+
+
+class EnsembleRunner:
+    """Flies the Table 2 campaign once per seed through the engine.
+
+    Each seed is one :class:`~repro.engine.WorkUnit`, so a
+    :class:`~repro.engine.ParallelExecutor` runs ensemble members
+    concurrently; the metric extractors (arbitrary callables, often
+    lambdas) are applied on the submitting side after the deterministic
+    merge, so they never need to pickle.
 
     Parameters
     ----------
@@ -90,24 +98,64 @@ def run_ensemble(
         Per-session beam-time fraction.
     metrics:
         Metric extractors (defaults to the headline set).
+    executor:
+        Engine executor the member campaigns fan out through.
     """
-    if not seeds:
-        raise AnalysisError("need at least one seed")
-    if len(set(seeds)) != len(seeds):
-        raise AnalysisError("seeds must be distinct")
-    metrics = metrics if metrics is not None else HEADLINE_METRICS
-    if not metrics:
-        raise AnalysisError("need at least one metric")
-    collected: Dict[str, List[float]] = {name: [] for name in metrics}
-    for seed in seeds:
-        campaign = Campaign(seed=int(seed), time_scale=time_scale).run()
-        analysis = CampaignAnalysis(campaign)
-        for name, fn in metrics.items():
-            collected[name].append(float(fn(analysis)))
-    return {
-        name: MetricDistribution(name=name, values=values)
-        for name, values in collected.items()
-    }
+
+    def __init__(
+        self,
+        seeds: Sequence[int],
+        time_scale: float = 0.25,
+        metrics: Dict[str, MetricFn] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        if not seeds:
+            raise AnalysisError("need at least one seed")
+        if len(set(seeds)) != len(seeds):
+            raise AnalysisError("seeds must be distinct")
+        metrics = metrics if metrics is not None else HEADLINE_METRICS
+        if not metrics:
+            raise AnalysisError("need at least one metric")
+        self.seeds = [int(seed) for seed in seeds]
+        self.time_scale = time_scale
+        self.metrics = dict(metrics)
+        self.executor = executor or SerialExecutor()
+
+    def run(self) -> Dict[str, MetricDistribution]:
+        """Fly every member; collect the metric distributions."""
+        units = [
+            WorkUnit(
+                key=f"ensemble-seed{seed}",
+                fn=_fly_campaign,
+                args=(seed, self.time_scale),
+            )
+            for seed in self.seeds
+        ]
+        campaigns = self.executor.map(units)
+        collected: Dict[str, List[float]] = {name: [] for name in self.metrics}
+        for campaign in campaigns:
+            analysis = CampaignAnalysis(campaign)
+            for name, fn in self.metrics.items():
+                collected[name].append(float(fn(analysis)))
+        return {
+            name: MetricDistribution(name=name, values=values)
+            for name, values in collected.items()
+        }
+
+
+def run_ensemble(
+    seeds: Sequence[int],
+    time_scale: float = 0.25,
+    metrics: Dict[str, MetricFn] = None,
+    executor: Optional[Executor] = None,
+) -> Dict[str, MetricDistribution]:
+    """Fly the Table 2 campaign once per seed; collect metric distributions.
+
+    Thin functional wrapper over :class:`EnsembleRunner`.
+    """
+    return EnsembleRunner(
+        seeds, time_scale=time_scale, metrics=metrics, executor=executor
+    ).run()
 
 
 def coefficient_of_variation(distribution: MetricDistribution) -> float:

@@ -1,0 +1,36 @@
+"""Unified execution layer: contexts, work units and executors.
+
+Every batch-shaped workload in the reproduction -- the four-session
+campaign, multi-seed ensembles, vmin characterization sweeps,
+microarchitectural FI batches -- used to carry its own ad-hoc run loop
+and its own seed/time-scale plumbing.  This package centralizes both:
+
+* :class:`ExecutionContext` bundles the root seed, the time scale, an
+  optional campaign-wide flux override and an optional logbook sink,
+  and hands out deterministic derived seeds/streams.
+* :class:`WorkUnit` is one picklable unit of work (a top-level function
+  plus arguments), labeled with a stable key.
+* :class:`SerialExecutor` runs units in order in-process;
+  :class:`ParallelExecutor` fans them out over a process pool and
+  merges results in submission order, so parallel output is
+  bit-identical to serial output for the same seed.  If worker
+  processes cannot be spawned it degrades gracefully to serial.
+"""
+
+from .context import ExecutionContext
+from .executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    WorkUnit,
+    resolve_executor,
+)
+
+__all__ = [
+    "ExecutionContext",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "WorkUnit",
+    "resolve_executor",
+]

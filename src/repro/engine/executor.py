@@ -1,0 +1,164 @@
+"""Executors: the one run loop every batch workload fans out through.
+
+A batch is a list of :class:`WorkUnit`\\ s -- picklable ``(fn, args,
+kwargs)`` triples labeled with a stable key.  Executors return results
+in submission order regardless of completion order, which is what makes
+:class:`ParallelExecutor` output bit-identical to
+:class:`SerialExecutor` output: every unit carries its own derived
+seed, and the merge never depends on scheduling.
+
+:class:`ParallelExecutor` is backed by
+:class:`concurrent.futures.ProcessPoolExecutor`.  Spawning workers can
+fail in restricted environments (no ``fork``, missing semaphores,
+unpicklable payloads); in that case it logs the reason and falls back
+to in-process serial execution rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import EngineError
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable unit of work.
+
+    Attributes
+    ----------
+    key:
+        Stable label used for logging and deterministic merging.
+    fn:
+        A picklable callable -- must be a module-level function for the
+        process-pool path.
+    args / kwargs:
+        Arguments passed to ``fn``.  Everything must be picklable for
+        parallel execution; derived integer seeds (not generators)
+        should ride here.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self) -> Any:
+        """Execute the unit in the calling process."""
+        return self.fn(*self.args, **self.kwargs)
+
+
+class Executor:
+    """Interface: run a batch of work units, results in submission order."""
+
+    #: Human-readable executor label (used in logbooks and benches).
+    name: str = "executor"
+
+    def map(self, units: Sequence[WorkUnit], logbook=None) -> List[Any]:
+        """Run every unit; return their results in submission order."""
+        raise NotImplementedError
+
+    def _log(self, logbook, started: float, kind: str, message: str) -> None:
+        if logbook is not None:
+            logbook.record(time.monotonic() - started, kind, message)
+
+
+class SerialExecutor(Executor):
+    """Runs units one after another in the calling process."""
+
+    name = "serial"
+
+    def map(self, units: Sequence[WorkUnit], logbook=None) -> List[Any]:
+        started = time.monotonic()
+        results: List[Any] = []
+        for unit in units:
+            self._log(logbook, started, "engine", f"run {unit.key} (serial)")
+            results.append(unit.run())
+            self._log(logbook, started, "engine", f"done {unit.key}")
+        return results
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(Executor):
+    """Fans units out over a process pool, merging in submission order.
+
+    Parameters
+    ----------
+    workers:
+        Maximum number of worker processes.
+    fallback:
+        When True (default), degrade to serial execution if the pool
+        cannot be spawned or breaks mid-flight; when False, raise
+        :class:`~repro.errors.EngineError` instead.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int = 2, fallback: bool = True) -> None:
+        if workers < 1:
+            raise EngineError("need at least one worker")
+        self.workers = int(workers)
+        self.fallback = fallback
+
+    def map(self, units: Sequence[WorkUnit], logbook=None) -> List[Any]:
+        units = list(units)
+        if len(units) <= 1 or self.workers == 1:
+            return SerialExecutor().map(units, logbook=logbook)
+        started = time.monotonic()
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(units))
+            ) as pool:
+                futures = []
+                for unit in units:
+                    self._log(
+                        logbook, started, "engine",
+                        f"dispatch {unit.key} (parallel x{self.workers})",
+                    )
+                    futures.append(
+                        pool.submit(unit.fn, *unit.args, **unit.kwargs)
+                    )
+                # Collect strictly in submission order: scheduling can
+                # finish units out of order, the merge must not.
+                results = []
+                for unit, future in zip(units, futures):
+                    results.append(future.result())
+                    self._log(logbook, started, "engine", f"done {unit.key}")
+                return results
+        except (OSError, ValueError, RuntimeError, BrokenProcessPool,
+                ImportError, AttributeError, TypeError,
+                pickle.PicklingError) as exc:
+            # Covers: no fork/spawn support, missing POSIX semaphores,
+            # unpicklable payloads, and workers dying at import time.
+            if not self.fallback:
+                raise EngineError(
+                    f"parallel execution failed ({exc!r}) and fallback "
+                    f"is disabled"
+                ) from exc
+            self._log(
+                logbook, started, "engine",
+                f"process pool unavailable ({exc.__class__.__name__}); "
+                f"falling back to serial",
+            )
+            return SerialExecutor().map(units, logbook=logbook)
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(workers={self.workers})"
+
+
+def resolve_executor(workers: Optional[int]) -> Executor:
+    """Map a CLI-style ``--workers`` value onto an executor.
+
+    ``None``, 0 or 1 mean serial; anything greater is a parallel pool
+    of that many workers.
+    """
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)

@@ -40,6 +40,10 @@ class BeamError(ReproError):
     """The beam facility was driven outside its operational envelope."""
 
 
+class EngineError(ReproError):
+    """The execution engine was configured or driven incorrectly."""
+
+
 class SessionError(ReproError):
     """A test session was used in an invalid order (e.g. results before run)."""
 

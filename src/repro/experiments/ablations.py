@@ -19,14 +19,14 @@ shows what breaks without it:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..core.report import Table
+from ..engine import ExecutionContext
 from ..harness.availability import CheckpointModel, undervolting_verdict
 from ..injection.calibration import LevelRateModel
-from ..rng import RngStreams
 from ..soc.geometry import CacheLevel
 from ..sram.array import ArrayGeometry, SramArray
 from ..sram.mbu import MbuModel
@@ -62,10 +62,14 @@ def _strike_array(
 
 
 def run_interleave(
-    seed: int = 2023, time_scale: float = 1.0, strikes: int = 30_000
+    seed: int = 2023,
+    time_scale: float = 1.0,
+    strikes: int = 30_000,
+    context: Optional[ExecutionContext] = None,
 ) -> ExperimentResult:
     """Ablate column interleaving on an L2-like SECDED array."""
-    streams = RngStreams(seed)
+    context = context or ExecutionContext(seed=seed, time_scale=time_scale)
+    streams = context.streams
     table = Table(
         title="Ablation: column interleaving on a SECDED array",
         header=["Interleave", "Corrected", "Uncorrected", "Silent"],
@@ -107,10 +111,14 @@ def run_interleave(
 
 
 def run_ecc(
-    seed: int = 2023, time_scale: float = 1.0, strikes: int = 30_000
+    seed: int = 2023,
+    time_scale: float = 1.0,
+    strikes: int = 30_000,
+    context: Optional[ExecutionContext] = None,
 ) -> ExperimentResult:
     """Ablate the L3's SECDED: what parity-only protection would do."""
-    streams = RngStreams(seed)
+    context = context or ExecutionContext(seed=seed, time_scale=time_scale)
+    streams = context.streams
     table = Table(
         title="Ablation: SECDED vs parity on the (write-back) L3",
         header=["Protection", "Recovered", "Unrecoverable", "Silent"],

@@ -23,10 +23,12 @@ _CATEGORIES = [OutcomeKind.APP_CRASH, OutcomeKind.SYS_CRASH, OutcomeKind.SDC]
 
 
 def run(
-    seed: int = DEFAULT_SEED, time_scale: float = DEFAULT_TIME_SCALE
+    seed: int = DEFAULT_SEED,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    workers: int = 0,
 ) -> ExperimentResult:
     """Regenerate the Fig. 11 FIT bars from the 2.4 GHz sessions."""
-    campaign = shared_campaign(seed, time_scale)
+    campaign = shared_campaign(seed, time_scale, workers=workers)
     analysis = CampaignAnalysis(campaign)
     labels = [
         label

@@ -22,10 +22,12 @@ from .config import (
 
 
 def run(
-    seed: int = DEFAULT_SEED, time_scale: float = DEFAULT_TIME_SCALE
+    seed: int = DEFAULT_SEED,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    workers: int = 0,
 ) -> ExperimentResult:
     """Regenerate the Fig. 12 SDC FIT split from the 2.4 GHz sessions."""
-    campaign = shared_campaign(seed, time_scale)
+    campaign = shared_campaign(seed, time_scale, workers=workers)
     analysis = CampaignAnalysis(campaign)
     labels = [
         label

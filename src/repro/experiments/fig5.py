@@ -24,10 +24,12 @@ DISPLAY_ORDER: List[str] = ["CG", "LU", "FT", "EP", "MG", "IS"]
 
 
 def run(
-    seed: int = DEFAULT_SEED, time_scale: float = DEFAULT_TIME_SCALE
+    seed: int = DEFAULT_SEED,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    workers: int = 0,
 ) -> ExperimentResult:
     """Regenerate the Fig. 5 bar data from the 2.4 GHz sessions."""
-    campaign = shared_campaign(seed, time_scale)
+    campaign = shared_campaign(seed, time_scale, workers=workers)
     analysis = CampaignAnalysis(campaign)
     sessions_24ghz = [
         label

@@ -43,10 +43,12 @@ def _collect(
 
 
 def run(
-    seed: int = DEFAULT_SEED, time_scale: float = DEFAULT_TIME_SCALE
+    seed: int = DEFAULT_SEED,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    workers: int = 0,
 ) -> ExperimentResult:
     """Regenerate the Fig. 6 per-level bars from the 2.4 GHz sessions."""
-    campaign = shared_campaign(seed, time_scale)
+    campaign = shared_campaign(seed, time_scale, workers=workers)
     analysis = CampaignAnalysis(campaign)
     labels = [
         label

@@ -20,10 +20,12 @@ from .fig6 import LEVEL_ORDER
 
 
 def run(
-    seed: int = DEFAULT_SEED, time_scale: float = DEFAULT_TIME_SCALE
+    seed: int = DEFAULT_SEED,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    workers: int = 0,
 ) -> ExperimentResult:
     """Regenerate the Fig. 7 per-level bars from the 900 MHz session."""
-    campaign = shared_campaign(seed, time_scale)
+    campaign = shared_campaign(seed, time_scale, workers=workers)
     analysis = CampaignAnalysis(campaign)
     label = next(
         label

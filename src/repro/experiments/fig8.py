@@ -24,10 +24,12 @@ CATEGORY_ORDER = [OutcomeKind.APP_CRASH, OutcomeKind.SYS_CRASH, OutcomeKind.SDC]
 
 
 def run(
-    seed: int = DEFAULT_SEED, time_scale: float = DEFAULT_TIME_SCALE
+    seed: int = DEFAULT_SEED,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    workers: int = 0,
 ) -> ExperimentResult:
     """Regenerate the Fig. 8 percentage panels from the 2.4 GHz sessions."""
-    campaign = shared_campaign(seed, time_scale)
+    campaign = shared_campaign(seed, time_scale, workers=workers)
     analysis = CampaignAnalysis(campaign)
     labels = [
         label

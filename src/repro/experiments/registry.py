@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Dict
 
@@ -54,14 +55,24 @@ def run_experiment(
     experiment_id: str,
     seed: int = DEFAULT_SEED,
     time_scale: float = DEFAULT_TIME_SCALE,
+    workers: int = 0,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    ``workers`` reaches the drivers whose campaigns fan out through the
+    :mod:`repro.engine` executors; drivers without a ``workers``
+    parameter (analytic figures, ablations) simply ignore it.
+    """
     if experiment_id not in EXPERIMENTS:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; "
             f"choose from {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[experiment_id](seed=seed, time_scale=time_scale)
+    runner = EXPERIMENTS[experiment_id]
+    kwargs = {"seed": seed, "time_scale": time_scale}
+    if "workers" in inspect.signature(runner).parameters:
+        kwargs["workers"] = workers
+    return runner(**kwargs)
 
 
 def main(argv=None) -> int:
@@ -85,12 +96,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--csv", action="store_true", help="emit CSV instead of ASCII tables"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="campaign sessions to fly concurrently (0/1 = serial)",
+    )
     args = parser.parse_args(argv)
 
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:
         result = run_experiment(
-            experiment_id, seed=args.seed, time_scale=args.time_scale
+            experiment_id,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            workers=args.workers,
         )
         print(result.table.to_csv() if args.csv else result.render())
         print()

@@ -17,10 +17,12 @@ from .config import (
 
 
 def run(
-    seed: int = DEFAULT_SEED, time_scale: float = DEFAULT_TIME_SCALE
+    seed: int = DEFAULT_SEED,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    workers: int = 0,
 ) -> ExperimentResult:
     """Fly (or reuse) the campaign and regenerate Table 2."""
-    campaign = shared_campaign(seed, time_scale)
+    campaign = shared_campaign(seed, time_scale, workers=workers)
     analysis = CampaignAnalysis(campaign)
     table = analysis.table2()
     series = {

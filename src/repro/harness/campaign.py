@@ -4,13 +4,22 @@ Runs every session plan against a fresh chip, collects the results,
 and exposes campaign-level views (per-voltage aggregation, consolidated
 EDAC statistics) that the analysis layer turns into the paper's tables
 and figures.
+
+Sessions fan out through the :mod:`repro.engine` execution layer: each
+session is one picklable :class:`~repro.engine.WorkUnit` carrying its
+plan and the campaign's root seed, so a
+:class:`~repro.engine.ParallelExecutor` flies them on separate
+processes and still produces output bit-identical to the serial run --
+session streams are derived from ``(seed, label)`` alone, never from
+cross-session draw order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
+from ..engine import ExecutionContext, Executor, SerialExecutor, WorkUnit
 from ..errors import SessionError
 from ..rng import RngStreams
 from ..soc.xgene2 import XGene2
@@ -48,6 +57,23 @@ class CampaignResult:
         return list(self.sessions)
 
 
+def _fly_session(
+    plan: SessionPlan, seed: int, vectorized: bool = True
+) -> Tuple[SessionResult, int]:
+    """Fly one session on a fresh chip (module-level: must pickle).
+
+    The session's stream is derived from ``(seed, plan.label)`` inside
+    :class:`BeamSession`, so this function is a pure function of its
+    arguments -- the foundation of the serial/parallel determinism
+    guarantee.
+    """
+    chip = XGene2()
+    session = BeamSession(
+        plan, RngStreams(seed), chip=chip, vectorized=vectorized
+    )
+    return session.run(), chip.sram_data_bits
+
+
 class Campaign:
     """Runs a list of session plans with deterministic seeding.
 
@@ -57,10 +83,22 @@ class Campaign:
         Session plans to fly (defaults to Table 2's four).
     seed:
         Root seed; every stochastic draw of the campaign derives
-        from it.
+        from it.  Ignored when *context* is given.
     time_scale:
         Shrinks every session's beam time (1.0 = full length;
-        tests and quick demos use much smaller values).
+        tests and quick demos use much smaller values).  Ignored when
+        *context* is given.
+    executor:
+        Engine executor the sessions fan out through (defaults to
+        :class:`~repro.engine.SerialExecutor`; pass
+        ``ParallelExecutor(4)`` to fly the four sessions concurrently).
+    context:
+        Full :class:`~repro.engine.ExecutionContext`; supersedes the
+        loose *seed*/*time_scale* pair and can carry a campaign-wide
+        flux override plus a logbook sink for engine events.
+    vectorized:
+        Select the injector realization path (see
+        :class:`~repro.injection.injector.BeamInjector`).
     """
 
     def __init__(
@@ -68,20 +106,44 @@ class Campaign:
         plans: Optional[List[SessionPlan]] = None,
         seed: int = 2023,
         time_scale: float = 1.0,
+        executor: Optional[Executor] = None,
+        context: Optional[ExecutionContext] = None,
+        vectorized: bool = True,
     ) -> None:
+        if context is None:
+            context = ExecutionContext(seed=seed, time_scale=time_scale)
+        self.context = context
         base_plans = plans if plans is not None else TABLE2_SESSION_PLANS
-        if time_scale != 1.0:
-            base_plans = [scaled_plan(p, time_scale) for p in base_plans]
+        if context.time_scale != 1.0:
+            base_plans = [
+                scaled_plan(p, context.time_scale) for p in base_plans
+            ]
+        if context.flux_per_cm2_s is not None:
+            base_plans = [
+                replace(p, flux_per_cm2_s=context.flux_per_cm2_s)
+                for p in base_plans
+            ]
         self.plans = base_plans
-        self.streams = RngStreams(seed)
+        self.executor = executor or SerialExecutor()
+        self.vectorized = vectorized
+        # Back-compat: pre-engine callers reached for campaign.streams.
+        self.streams = context.streams
 
     def run(self) -> CampaignResult:
         """Fly every session on a fresh chip; return all results."""
+        units = [
+            WorkUnit(
+                key=plan.label,
+                fn=_fly_session,
+                args=(plan, self.context.seed),
+                kwargs={"vectorized": self.vectorized},
+            )
+            for plan in self.plans
+        ]
         result = CampaignResult()
-        for plan in self.plans:
-            chip = XGene2()
-            session = BeamSession(plan, self.streams, chip=chip)
-            result.sessions[plan.label] = session.run()
+        outcomes = self.executor.map(units, logbook=self.context.logbook)
+        for plan, (session_result, sram_bits) in zip(self.plans, outcomes):
+            result.sessions[plan.label] = session_result
             if not result.sram_bits:
-                result.sram_bits = chip.sram_data_bits
+                result.sram_bits = sram_bits
         return result

@@ -193,11 +193,14 @@ class BeamSession:
         chip: XGene2 = None,
         rate_model: LevelRateModel = None,
         outcome_mix: OutcomeMixModel = None,
+        vectorized: bool = True,
     ) -> None:
         self.plan = plan
         self.streams = streams
         self.chip = chip or XGene2()
-        self.injector = BeamInjector(self.chip, rate_model=rate_model)
+        self.injector = BeamInjector(
+            self.chip, rate_model=rate_model, vectorized=vectorized
+        )
         outcome_model = (
             OutcomeModel(mix=outcome_mix) if outcome_mix else OutcomeModel()
         )

@@ -16,6 +16,23 @@ For one exposure segment the injector:
 The emergent uncorrected-error fraction lands on the paper's ~4.7 %
 L3-only UE share because the L3 is the one non-interleaved array and
 the MBU model's multi-cell probability is calibrated to that figure.
+
+Two realization paths exist:
+
+* the **vectorized** path (default) batches the Poisson draws across
+  levels, the array/word selection, and the cluster-size sampling into
+  whole-array numpy operations, caches the per-(operating point,
+  benchmark, flux) rate vectors, and classifies severities through
+  :meth:`~repro.sram.array.SramArray.classify_flip_count` -- falling
+  back to the real codec only for the rare multi-bit words where the
+  outcome depends on concrete bit positions;
+* the **scalar** path is the original per-event loop through
+  :meth:`SramArray.strike`/:meth:`SramArray.access`, kept as the
+  reference implementation and as the baseline for the engine
+  benchmarks.
+
+Both paths sample the same distributions (the benches pin those, not
+the draw sequences), and each is individually deterministic per seed.
 """
 
 from __future__ import annotations
@@ -25,15 +42,25 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..constants import TNF_HALO_FLUX_PER_CM2_S
+from ..constants import (
+    PMD_NOMINAL_MV,
+    SOC_NOMINAL_MV,
+    TNF_HALO_FLUX_PER_CM2_S,
+)
 from ..errors import InjectionError
 from ..soc.edac import EdacSeverity
 from ..soc.geometry import CacheLevel
 from ..soc.xgene2 import XGene2
-from ..sram.mbu import MbuModel
+from ..sram.array import UpsetRecord
+from ..sram.mbu import MbuCluster, MbuModel
+from ..sram.protection import DecodeStatus
 from ..workloads.profiles import benchmark_rate_share
 from .calibration import LEVEL_DOMAIN, LevelRateModel
 from .events import UpsetEvent
+
+#: The per-word fold of a single-cell cluster -- precomputed because
+#: the overwhelming majority of strikes are single-bit.
+_SINGLE_CELL: Tuple[Tuple[int, int], ...] = ((0, 1),)
 
 
 @dataclass
@@ -108,6 +135,10 @@ class BeamInjector:
         Calibrated per-level rate model (defaults to the paper fit).
     mbu_model:
         Physical cluster model (defaults calibrated to the L3 UE share).
+    vectorized:
+        Use the batched numpy realization path (default).  ``False``
+        selects the original per-event loop; both sample the same
+        distributions.
     """
 
     def __init__(
@@ -115,12 +146,16 @@ class BeamInjector:
         chip: XGene2,
         rate_model: LevelRateModel = None,
         mbu_model: MbuModel = None,
+        vectorized: bool = True,
     ) -> None:
         self.chip = chip
         self.rate_model = rate_model or LevelRateModel()
         self.mbu_model = mbu_model or MbuModel()
+        self.vectorized = vectorized
         # Capacity-weighted array choice within each level.
         self._level_arrays: Dict[CacheLevel, Tuple[List[str], np.ndarray]] = {}
+        self._arrays: Dict[CacheLevel, list] = {}
+        self._words: Dict[CacheLevel, np.ndarray] = {}
         for level in CacheLevel:
             arrays = chip.arrays_by_level(level)
             if not arrays:
@@ -128,6 +163,17 @@ class BeamInjector:
             names = [a.name for a in arrays]
             weights = np.array([a.stored_bits for a in arrays], dtype=float)
             self._level_arrays[level] = (names, weights / weights.sum())
+            self._arrays[level] = list(arrays)
+            self._words[level] = np.array(
+                [a.geometry.words for a in arrays], dtype=np.int64
+            )
+        #: Levels with at least one array, in enum (flight) order.
+        self._levels: List[CacheLevel] = list(self._level_arrays)
+        # (benchmark, pmd_mv, soc_mv, flux) -> expected upsets/min per
+        # level, aligned with self._levels.  Rates are pure functions of
+        # that key, and a session re-runs the same handful of keys
+        # thousands of times.
+        self._rate_cache: Dict[tuple, np.ndarray] = {}
 
     def expected_rate_per_min(
         self,
@@ -147,6 +193,35 @@ class BeamInjector:
             rate *= benchmark_rate_share(benchmark, point.pmd_mv)
         return rate
 
+    def _expected_rates(
+        self,
+        benchmark: Optional[str],
+        flux_per_cm2_s: float,
+    ) -> np.ndarray:
+        """Cached expected upsets/minute for every level (flight order)."""
+        point = self.chip.operating_point()
+        key = (benchmark, point.pmd_mv, point.soc_mv, flux_per_cm2_s)
+        rates = self._rate_cache.get(key)
+        if rates is None:
+            rates = np.array(
+                [
+                    self.expected_rate_per_min(
+                        level, benchmark, flux_per_cm2_s
+                    )
+                    for level in self._levels
+                ],
+                dtype=float,
+            )
+            self._rate_cache[key] = rates
+        return rates
+
+    @staticmethod
+    def _undervolt_fraction(level: CacheLevel, pmd_mv: float, soc_mv: float) -> float:
+        """Relative undervolt of the domain feeding *level*."""
+        if LEVEL_DOMAIN[level] == "pmd":
+            return (PMD_NOMINAL_MV - pmd_mv) / PMD_NOMINAL_MV
+        return (SOC_NOMINAL_MV - soc_mv) / SOC_NOMINAL_MV
+
     def expose(
         self,
         duration_s: float,
@@ -161,6 +236,83 @@ class BeamInjector:
         """
         if duration_s < 0:
             raise InjectionError("exposure duration must be nonnegative")
+        if self.vectorized:
+            return self._expose_vectorized(
+                duration_s, rng, benchmark, flux_per_cm2_s, time_offset_s
+            )
+        return self._expose_scalar(
+            duration_s, rng, benchmark, flux_per_cm2_s, time_offset_s
+        )
+
+    # -- vectorized hot path ----------------------------------------------------
+
+    def _expose_vectorized(
+        self,
+        duration_s: float,
+        rng: np.random.Generator,
+        benchmark: Optional[str],
+        flux_per_cm2_s: float,
+        time_offset_s: float,
+    ) -> InjectionSummary:
+        summary = InjectionSummary(duration_s=duration_s)
+        point = self.chip.operating_point()
+        expected = self._expected_rates(benchmark, flux_per_cm2_s) * (
+            duration_s / 60.0
+        )
+        # One batched Poisson draw across all levels.
+        n_events = rng.poisson(expected) if expected.size else np.empty(0)
+        for level, n in zip(self._levels, n_events):
+            n = int(n)
+            if n == 0:
+                continue
+            arrays = self._arrays[level]
+            _names, probs = self._level_arrays[level]
+            times = np.sort(rng.uniform(0.0, duration_s, size=n))
+            undervolt = self._undervolt_fraction(
+                level, point.pmd_mv, point.soc_mv
+            )
+            if len(arrays) > 1:
+                arr_idx = rng.choice(len(arrays), size=n, p=probs)
+            else:
+                arr_idx = np.zeros(n, dtype=np.int64)
+            struck = rng.integers(0, self._words[level][arr_idx])
+            sizes = self.mbu_model.sample_sizes(rng, undervolt, n)
+            for i in range(n):
+                array = arrays[int(arr_idx[i])]
+                time_s = float(times[i]) + time_offset_s
+                size = int(sizes[i])
+                if size == 1:
+                    per_word = _SINGLE_CELL
+                else:
+                    per_word = self.mbu_model.split_by_interleaving(
+                        MbuCluster(size=size, offsets=tuple(range(size))),
+                        array.geometry.interleave,
+                        array.codec.word_bits,
+                    )
+                for word_delta, nbits in per_word:
+                    target = (int(struck[i]) + word_delta) % array.geometry.words
+                    status = array.classify_flip_count(nbits, rng)
+                    if status in (DecodeStatus.SILENT, DecodeStatus.CLEAN):
+                        continue
+                    record = UpsetRecord(
+                        array=array.name,
+                        word=target,
+                        flipped_bits=min(nbits, array.codec.word_bits),
+                        status=status,
+                    )
+                    self._log_and_collect(record, time_s, level, summary)
+        return summary
+
+    # -- scalar reference path --------------------------------------------------
+
+    def _expose_scalar(
+        self,
+        duration_s: float,
+        rng: np.random.Generator,
+        benchmark: Optional[str],
+        flux_per_cm2_s: float,
+        time_offset_s: float,
+    ) -> InjectionSummary:
         summary = InjectionSummary(duration_s=duration_s)
         point = self.chip.operating_point()
         for level, (names, probs) in self._level_arrays.items():
@@ -172,10 +324,9 @@ class BeamInjector:
             if n_events == 0:
                 continue
             times = np.sort(rng.uniform(0.0, duration_s, size=n_events))
-            domain = LEVEL_DOMAIN[level]
-            nominal = 980.0 if domain == "pmd" else 950.0
-            voltage = point.pmd_mv if domain == "pmd" else point.soc_mv
-            undervolt = (nominal - voltage) / nominal
+            undervolt = self._undervolt_fraction(
+                level, point.pmd_mv, point.soc_mv
+            )
             for t in times:
                 self._realize_event(
                     level, names, probs, float(t) + time_offset_s,
@@ -201,17 +352,29 @@ class BeamInjector:
             _result, record = array.access(target_word)
             if record is None:
                 continue
-            edac_record = self.chip.edac.log_upset(time_s, record, level)
-            if edac_record is None:
-                continue
-            summary.upsets.append(
-                UpsetEvent(
-                    time_s=time_s,
-                    array=array.name,
-                    level=level.value,
-                    bits=record.flipped_bits,
-                    corrected=edac_record.severity is EdacSeverity.CE,
-                )
+            self._log_and_collect(record, time_s, level, summary)
+
+    # -- shared bookkeeping -----------------------------------------------------
+
+    def _log_and_collect(
+        self,
+        record: UpsetRecord,
+        time_s: float,
+        level: CacheLevel,
+        summary: InjectionSummary,
+    ) -> None:
+        """Push one upset record through the EDAC log into the summary."""
+        edac_record = self.chip.edac.log_upset(time_s, record, level)
+        if edac_record is None:
+            return
+        summary.upsets.append(
+            UpsetEvent(
+                time_s=time_s,
+                array=record.array,
+                level=level.value,
+                bits=record.flipped_bits,
+                corrected=edac_record.severity is EdacSeverity.CE,
             )
-            key = (level, edac_record.severity)
-            summary.counts[key] = summary.counts.get(key, 0) + 1
+        )
+        key = (level, edac_record.severity)
+        summary.counts[key] = summary.counts.get(key, 0) + 1

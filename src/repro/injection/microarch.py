@@ -22,13 +22,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..constants import RAW_SRAM_XS_CM2_PER_BIT
+from ..engine import ExecutionContext, Executor, SerialExecutor, WorkUnit
 from ..errors import InjectionError
 from ..injection.events import OutcomeKind
+from ..rng import as_generator
 from ..units import bits_to_mbit
 
 
@@ -190,6 +192,19 @@ class FiCampaignResult:
         return 1.0 - self.fraction(OutcomeKind.MASKED)
 
 
+def _run_structure_campaign(
+    structures: List[CoreStructure],
+    cores: int,
+    structure_name: str,
+    injections: int,
+    seed: int,
+) -> FiCampaignResult:
+    """Run one structure's FI campaign (module-level: must pickle)."""
+    injector = MicroarchInjector(structures, cores=cores)
+    rng = as_generator(seed, f"fi-{structure_name}")
+    return injector.run_campaign(structure_name, injections, rng)
+
+
 class MicroarchInjector:
     """Statistical fault injection over the core structures.
 
@@ -241,15 +256,51 @@ class MicroarchInjector:
         probs = list(structure.outcome_profile.values())
         probs.append(1.0 - sum(probs))
         draws = rng.choice(len(kinds), size=injections, p=probs)
-        outcomes: Dict[OutcomeKind, int] = {}
-        for idx in draws:
-            kind = kinds[int(idx)]
-            outcomes[kind] = outcomes.get(kind, 0) + 1
+        counts = np.bincount(draws, minlength=len(kinds))
+        outcomes: Dict[OutcomeKind, int] = {
+            kinds[idx]: int(count)
+            for idx, count in enumerate(counts)
+            if count
+        }
         return FiCampaignResult(
             structure=structure_name,
             injections=injections,
             outcomes=outcomes,
         )
+
+    def run_batch(
+        self,
+        injections_per_structure: int,
+        context: Optional[ExecutionContext] = None,
+        executor: Optional[Executor] = None,
+    ) -> Dict[str, FiCampaignResult]:
+        """One FI campaign per structure, fanned out through the engine.
+
+        Every structure's stream is derived from the context seed and
+        the structure name alone, so serial and parallel executors
+        produce identical histograms.
+        """
+        if injections_per_structure <= 0:
+            raise InjectionError("injection count must be positive")
+        context = context or ExecutionContext()
+        executor = executor or SerialExecutor()
+        names = [s.name for s in self.structures]
+        units = [
+            WorkUnit(
+                key=f"fi-{name}",
+                fn=_run_structure_campaign,
+                args=(
+                    self.structures,
+                    self.cores,
+                    name,
+                    injections_per_structure,
+                    context.derive_seed("microarch-fi", structure=name),
+                ),
+            )
+            for name in names
+        ]
+        results = executor.map(units, logbook=context.logbook)
+        return dict(zip(names, results))
 
     # -- FIT estimation (design implication #3) ---------------------------------
 

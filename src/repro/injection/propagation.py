@@ -42,6 +42,14 @@ class OutcomeModel:
     mix: OutcomeMixModel = OutcomeMixModel()
     reference_flux: float = TNF_HALO_FLUX_PER_CM2_S
 
+    def __post_init__(self) -> None:
+        # A session evaluates the same (freq, pmd, flux) key for every
+        # one of its thousands of benchmark runs; the log-linear interp
+        # behind it dominated the campaign profile before caching.  The
+        # dataclass is frozen, so the cache is attached via the
+        # object-level escape hatch.
+        object.__setattr__(self, "_rate_cache", {})
+
     def rates_per_min(
         self,
         point: OperatingPoint,
@@ -50,11 +58,28 @@ class OutcomeModel:
         """Expected failures/minute per category at an operating point."""
         if flux_per_cm2_s < 0:
             raise InjectionError("flux must be nonnegative")
-        scale = flux_per_cm2_s / self.reference_flux
-        raw = self.mix.rates_per_min(point.freq_mhz, point.pmd_mv)
-        return {
-            _CATEGORY_TO_KIND[cat]: rate * scale for cat, rate in raw.items()
-        }
+        key = (point.freq_mhz, point.pmd_mv, flux_per_cm2_s)
+        cached = self._rate_cache.get(key)
+        if cached is None:
+            scale = flux_per_cm2_s / self.reference_flux
+            raw = self.mix.rates_per_min(point.freq_mhz, point.pmd_mv)
+            cached = {
+                _CATEGORY_TO_KIND[cat]: rate * scale
+                for cat, rate in raw.items()
+            }
+            self._rate_cache[key] = cached
+        return dict(cached)
+
+    def _notification_probability(
+        self, freq_mhz: int, pmd_mv: int
+    ) -> float:
+        """Cached P(corrected-error notification | SDC)."""
+        key = ("notify", freq_mhz, pmd_mv)
+        cached = self._rate_cache.get(key)
+        if cached is None:
+            cached = self.mix.sdc_notification_probability(freq_mhz, pmd_mv)
+            self._rate_cache[key] = cached
+        return cached
 
     def sample_failures(
         self,
@@ -75,22 +100,32 @@ class OutcomeModel:
             raise InjectionError("duration must be nonnegative")
         events: List[FailureEvent] = []
         rates = self.rates_per_min(point, flux_per_cm2_s)
-        p_notify = self.mix.sdc_notification_probability(
+        p_notify = self._notification_probability(
             point.freq_mhz, point.pmd_mv
         )
-        for kind, rate_per_min in rates.items():
-            expected = rate_per_min * duration_s / 60.0
-            count = int(rng.poisson(expected))
-            for t in rng.uniform(0.0, duration_s, size=count):
-                notified = (
-                    kind is OutcomeKind.SDC and rng.random() < p_notify
-                )
+        kinds = list(rates)
+        # One batched Poisson draw across the three categories.
+        counts = rng.poisson(
+            np.array(
+                [rates[kind] * duration_s / 60.0 for kind in kinds]
+            )
+        )
+        for kind, count in zip(kinds, counts):
+            count = int(count)
+            if count == 0:
+                continue
+            times = rng.uniform(0.0, duration_s, size=count)
+            if kind is OutcomeKind.SDC:
+                notified = rng.random(count) < p_notify
+            else:
+                notified = np.zeros(count, dtype=bool)
+            for t, n in zip(times, notified):
                 events.append(
                     FailureEvent(
                         time_s=float(t) + time_offset_s,
                         benchmark=benchmark,
                         kind=kind,
-                        hw_notified=notified,
+                        hw_notified=bool(n),
                     )
                 )
         events.sort(key=lambda e: e.time_s)

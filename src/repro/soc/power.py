@@ -26,6 +26,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..constants import PMD_NOMINAL_MV, SOC_NOMINAL_MV
 from ..errors import ConfigurationError
 from ..units import mv_to_volts
 
@@ -94,7 +95,11 @@ class PowerModel:
         soc_mv: float,
         freq_mhz: float,
         *,
-        baseline: Tuple[float, float, float] = (980.0, 950.0, 2400.0),
+        baseline: Tuple[float, float, float] = (
+            float(PMD_NOMINAL_MV),
+            float(SOC_NOMINAL_MV),
+            2400.0,
+        ),
     ) -> float:
         """Power savings relative to a baseline point (Fig. 10's metric)."""
         base = self.total_watts(*baseline)

@@ -25,7 +25,14 @@ import numpy as np
 
 from ..errors import GeometryError, InjectionError
 from .mbu import MbuCluster, MbuModel
-from .protection import Codec, CodecResult, DecodeStatus
+from .protection import (
+    Codec,
+    CodecResult,
+    DecodeStatus,
+    ParityCodec,
+    SecdedCodec,
+    flips_from_bit_indices,
+)
 
 
 @dataclass(frozen=True)
@@ -129,6 +136,21 @@ class SramArray:
         self.domain = domain
         # word index -> accumulated flip mask over stored (codeword) bits
         self._flips: Dict[int, int] = {}
+        # Flip-count -> DecodeStatus shortcuts for the vectorized hot
+        # path.  For these counts the decode outcome is independent of
+        # *which* distinct stored bits flipped: any single flip is
+        # corrected by SECDED and detected by parity, and any double
+        # flip trips SECDED's overall-parity check.  Higher counts (and
+        # unknown codecs) depend on the actual positions and go through
+        # the real codec in :meth:`classify_flip_count`.
+        self._count_status: Dict[int, DecodeStatus] = {}
+        if isinstance(codec, SecdedCodec):
+            self._count_status = {
+                1: DecodeStatus.CORRECTED,
+                2: DecodeStatus.DETECTED_UNCORRECTABLE,
+            }
+        elif isinstance(codec, ParityCodec):
+            self._count_status = {1: DecodeStatus.DETECTED_UNCORRECTABLE}
 
     # -- introspection --------------------------------------------------------
 
@@ -197,6 +219,35 @@ class SramArray:
                 self.inject_bit_flip(target, int(bit))
             applied.append((target, int(len(np.atleast_1d(positions)))))
         return applied
+
+    def classify_flip_count(
+        self, nbits: int, rng: np.random.Generator
+    ) -> DecodeStatus:
+        """Decode outcome of *nbits* distinct random stored-bit flips.
+
+        This is the vectorized injector's severity oracle: it returns
+        the same :class:`DecodeStatus` a strike-then-access round trip
+        on a clean word would, without mutating array state.  Counts
+        whose outcome is position-independent (see ``_count_status``)
+        are answered from the precomputed table; everything else --
+        notably >= 3-bit flips on the non-interleaved L3, where SECDED
+        miscorrection pathologies live -- samples concrete positions
+        and runs the real codec so the emergent physics is preserved.
+        """
+        if nbits < 1:
+            raise InjectionError("flip count must be >= 1")
+        status = self._count_status.get(nbits)
+        if status is not None:
+            return status
+        positions = rng.choice(
+            self.codec.word_bits,
+            size=min(nbits, self.codec.word_bits),
+            replace=False,
+        )
+        mask = flips_from_bit_indices(
+            tuple(int(b) for b in np.atleast_1d(positions))
+        )
+        return self.codec.classify(0, mask).status
 
     # -- access / scrub ---------------------------------------------------------
 

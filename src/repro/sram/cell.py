@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..constants import PMD_NOMINAL_MV
 from ..errors import ConfigurationError
 from ..units import mv_to_volts
 
@@ -40,7 +41,7 @@ class QcritModel:
     """
 
     qcrit_nominal_fc: float = 1.5
-    nominal_mv: float = 980.0
+    nominal_mv: float = float(PMD_NOMINAL_MV)
 
     def __post_init__(self) -> None:
         if self.qcrit_nominal_fc <= 0:
