@@ -37,6 +37,8 @@ Subpackages
     Vmin characterization, the Control-PC, beam sessions, campaigns.
 ``repro.engine``
     The execution layer: execution contexts, serial/parallel executors.
+``repro.telemetry``
+    Observability: metrics, span tracing, run manifests, exporters.
 ``repro.experiments``
     One driver per paper table and figure.
 """
@@ -70,6 +72,13 @@ from .harness import (
 )
 from .injection import BeamInjector, DirectInjector, OutcomeKind, OutcomeModel
 from .rng import RngStreams
+from .telemetry import (
+    MetricsRegistry,
+    RunManifest,
+    Telemetry,
+    Tracer,
+    console_summary,
+)
 from .soc import OperatingPoint, PowerModel, XGene2
 from .workloads import SUITE_NAMES, make_suite, make_workload
 
@@ -103,6 +112,11 @@ __all__ = [
     "OutcomeKind",
     "OutcomeModel",
     "RngStreams",
+    "MetricsRegistry",
+    "RunManifest",
+    "Telemetry",
+    "Tracer",
+    "console_summary",
     "OperatingPoint",
     "PowerModel",
     "XGene2",

@@ -3,10 +3,13 @@
 Subcommands::
 
     repro-campaign run OUTDIR [--seed N] [--time-scale X] [--workers N]
+                              [--telemetry]
         Fly the Table 2 campaign and persist everything under OUTDIR
-        (campaign.json + per-session dmesg captures).  --workers N > 1
-        flies sessions on separate processes; the output is
-        bit-identical to the serial run.
+        (campaign.json + per-session dmesg captures + manifest.json).
+        --workers N > 1 flies sessions on separate processes; the
+        output is bit-identical to the serial run.  --telemetry records
+        metrics and spans into the manifest and prints a summary
+        (campaign.json stays byte-identical either way).
 
     repro-campaign analyze OUTDIR [--artifact table2|fig8|fig11|summary]
         Reload a stored campaign and print an analysis artifact.
@@ -17,8 +20,11 @@ Subcommands::
     repro-campaign report OUTDIR
         Write the full markdown campaign report (REPORT.md).
 
+    repro-campaign stats OUTDIR [--format console|json|prometheus]
+        Render a stored run's manifest and telemetry.
+
 The separation mirrors real campaign practice: `run` burns (simulated)
-beam time once; `analyze`/`export` are free and repeatable.
+beam time once; `analyze`/`export`/`stats` are free and repeatable.
 """
 
 from __future__ import annotations
@@ -27,28 +33,73 @@ import argparse
 import sys
 from typing import Dict
 
+from . import __version__
 from .core.analysis import CampaignAnalysis
 from .core.report import Table
-from .engine import resolve_executor
+from .engine import ExecutionContext, resolve_executor
+from .errors import ReproError
 from .harness.campaign import Campaign, CampaignResult
 from .injection.events import OutcomeKind
 from .io.results_dir import ResultsDirectory
+from .telemetry import (
+    RunManifest,
+    Telemetry,
+    console_summary,
+    metrics_to_prometheus,
+)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    telemetry = Telemetry() if args.telemetry else None
     executor = resolve_executor(args.workers)
-    campaign = Campaign(
-        seed=args.seed, time_scale=args.time_scale, executor=executor
-    ).run()
+    context = ExecutionContext(
+        seed=args.seed, time_scale=args.time_scale, telemetry=telemetry
+    )
+    runner = Campaign(context=context, executor=executor)
+    if telemetry is not None:
+        with telemetry.span("cli.fly"):
+            campaign = runner.run()
+    else:
+        campaign = runner.run()
     results = ResultsDirectory(args.outdir)
-    written = results.export_all(campaign)
+    if telemetry is not None:
+        with telemetry.span("cli.persist"):
+            written = results.export_all(campaign)
+    else:
+        written = results.export_all(campaign)
+    manifest = RunManifest(
+        seed=args.seed,
+        time_scale=args.time_scale,
+        executor=executor.name,
+        workers=getattr(executor, "workers", 1),
+        version=__version__,
+        config_hash=runner.config_hash(),
+        stages=telemetry.tracer.stage_durations() if telemetry else {},
+        metrics=telemetry.metrics.to_dict() if telemetry else {},
+        spans=telemetry.tracer.to_list() if telemetry else [],
+        command=_render_command(args),
+    )
+    written.append(results.save_manifest(manifest))
     print(
         f"campaign flown (seed={args.seed}, "
         f"time_scale={args.time_scale}, executor={executor.name})"
     )
     for path in written:
         print(f"  wrote {path}")
+    if telemetry is not None:
+        print()
+        print(console_summary(manifest=manifest))
     return 0
+
+
+def _render_command(args: argparse.Namespace) -> str:
+    command = (
+        f"repro-campaign run {args.outdir} --seed {args.seed} "
+        f"--time-scale {args.time_scale} --workers {args.workers}"
+    )
+    if args.telemetry:
+        command += " --telemetry"
+    return command
 
 
 def _summary_table(analysis: CampaignAnalysis, campaign: CampaignResult) -> Table:
@@ -157,6 +208,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    results = ResultsDirectory(args.outdir)
+    manifest = results.load_manifest()
+    if args.format == "json":
+        print(manifest.to_json())
+    elif args.format == "prometheus":
+        text = metrics_to_prometheus(manifest.metrics)
+        if not text:
+            print(
+                "no metrics recorded (re-run with --telemetry)",
+                file=sys.stderr,
+            )
+            return 1
+        print(text, end="")
+    else:
+        print(console_summary(manifest=manifest))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-campaign`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -174,6 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="sessions to fly concurrently (0/1 = serial)",
+    )
+    run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record metrics/spans into manifest.json and print a summary",
     )
     run.set_defaults(func=_cmd_run)
 
@@ -193,13 +268,41 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="write the markdown report")
     report.add_argument("outdir")
     report.set_defaults(func=_cmd_report)
+
+    stats = sub.add_parser(
+        "stats", help="render a stored run's manifest and telemetry"
+    )
+    stats.add_argument("outdir")
+    stats.add_argument(
+        "--format",
+        default="console",
+        choices=["console", "json", "prometheus"],
+        help="output format (default: console)",
+    )
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 
 def main(argv=None) -> int:
-    """Console-script entry point."""
+    """Console-script entry point.
+
+    Library errors (missing/corrupt results directories, bad
+    configurations) exit nonzero with a one-line message instead of a
+    traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError) as exc:
+        # Corrupt on-disk artifacts surface as JSON/lookup errors.
+        print(f"error: corrupt results data: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - module CLI

@@ -14,16 +14,34 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
 
 from ..errors import EngineError
 from ..rng import RngStreams
+from ..telemetry import Telemetry
 
-# Forward reference only -- the logbook lives in the harness layer and
-# importing it here would create a cycle (harness imports the engine).
-Logbook = object
+
+@runtime_checkable
+class Logbook(Protocol):
+    """Structural interface of a logbook sink.
+
+    The concrete :class:`repro.harness.logbook.Logbook` lives in the
+    harness layer, and importing it here would create a cycle (harness
+    imports the engine); this protocol gives type checkers the real
+    ``record`` signature without the import.
+    """
+
+    def record(
+        self,
+        time_s: float,
+        kind: str,
+        message: str,
+        benchmark: Optional[str] = None,
+    ) -> object:
+        """Append one timestamped entry."""
+        ...
 
 
 @dataclass(frozen=True, eq=False)
@@ -43,12 +61,18 @@ class ExecutionContext:
         Optional :class:`~repro.harness.logbook.Logbook` the executor
         records dispatch/completion events into.  Excluded from
         pickling concerns by living only on the submitting side.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` sink runners
+        record metrics and spans into.  Like the logbook, it lives only
+        on the submitting side; work units ship registry *snapshots*
+        back instead.
     """
 
     seed: int = 2023
     time_scale: float = 1.0
     flux_per_cm2_s: Optional[float] = None
     logbook: Optional[Logbook] = None
+    telemetry: Optional[Telemetry] = None
 
     def __post_init__(self) -> None:
         if self.time_scale <= 0:
@@ -86,10 +110,13 @@ class ExecutionContext:
         return replace(self, seed=int(seed))
 
     def without_logbook(self) -> "ExecutionContext":
-        """A picklable copy safe to ship to worker processes."""
-        if self.logbook is None:
+        """A picklable copy safe to ship to worker processes.
+
+        Strips both submitting-side sinks (logbook and telemetry).
+        """
+        if self.logbook is None and self.telemetry is None:
             return self
-        return replace(self, logbook=None)
+        return replace(self, logbook=None, telemetry=None)
 
     def __repr__(self) -> str:
         return (

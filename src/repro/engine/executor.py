@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import EngineError
+from ..telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -59,8 +60,19 @@ class Executor:
     #: Human-readable executor label (used in logbooks and benches).
     name: str = "executor"
 
-    def map(self, units: Sequence[WorkUnit], logbook=None) -> List[Any]:
-        """Run every unit; return their results in submission order."""
+    def map(
+        self,
+        units: Sequence[WorkUnit],
+        logbook=None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> List[Any]:
+        """Run every unit; return their results in submission order.
+
+        ``telemetry`` receives an ``executor.map`` span, a
+        ``engine.units`` count per unit, and per-unit duration
+        observations.  Unit *counts* are identical across executors for
+        the same batch; only the timings differ.
+        """
         raise NotImplementedError
 
     def _log(self, logbook, started: float, kind: str, message: str) -> None:
@@ -73,13 +85,29 @@ class SerialExecutor(Executor):
 
     name = "serial"
 
-    def map(self, units: Sequence[WorkUnit], logbook=None) -> List[Any]:
+    def map(
+        self,
+        units: Sequence[WorkUnit],
+        logbook=None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> List[Any]:
+        tele = telemetry if telemetry is not None else NULL_TELEMETRY
         started = time.monotonic()
         results: List[Any] = []
-        for unit in units:
-            self._log(logbook, started, "engine", f"run {unit.key} (serial)")
-            results.append(unit.run())
-            self._log(logbook, started, "engine", f"done {unit.key}")
+        with tele.span("executor.map", executor=self.name, units=len(units)):
+            for unit in units:
+                self._log(
+                    logbook, started, "engine", f"run {unit.key} (serial)"
+                )
+                unit_started = time.perf_counter()
+                results.append(unit.run())
+                tele.observe(
+                    "engine.unit_seconds", time.perf_counter() - unit_started
+                )
+                self._log(logbook, started, "engine", f"done {unit.key}")
+            # One bulk increment on success keeps counts exact even if
+            # a unit raised mid-batch.
+            tele.count("engine.units", len(units))
         return results
 
     def __repr__(self) -> str:
@@ -107,13 +135,26 @@ class ParallelExecutor(Executor):
         self.workers = int(workers)
         self.fallback = fallback
 
-    def map(self, units: Sequence[WorkUnit], logbook=None) -> List[Any]:
+    def map(
+        self,
+        units: Sequence[WorkUnit],
+        logbook=None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> List[Any]:
         units = list(units)
         if len(units) <= 1 or self.workers == 1:
-            return SerialExecutor().map(units, logbook=logbook)
+            return SerialExecutor().map(
+                units, logbook=logbook, telemetry=telemetry
+            )
+        tele = telemetry if telemetry is not None else NULL_TELEMETRY
         started = time.monotonic()
         try:
-            with ProcessPoolExecutor(
+            with tele.span(
+                "executor.map",
+                executor=self.name,
+                units=len(units),
+                workers=self.workers,
+            ), ProcessPoolExecutor(
                 max_workers=min(self.workers, len(units))
             ) as pool:
                 futures = []
@@ -128,9 +169,19 @@ class ParallelExecutor(Executor):
                 # Collect strictly in submission order: scheduling can
                 # finish units out of order, the merge must not.
                 results = []
+                collect_started = time.perf_counter()
                 for unit, future in zip(units, futures):
                     results.append(future.result())
+                    # Completion latency since dispatch, not CPU time:
+                    # the unit ran on another process.
+                    tele.observe(
+                        "engine.unit_seconds",
+                        time.perf_counter() - collect_started,
+                    )
                     self._log(logbook, started, "engine", f"done {unit.key}")
+                # Counted only after every future resolved: a broken
+                # pool falls back to serial, which does its own count.
+                tele.count("engine.units", len(units))
                 return results
         except (OSError, ValueError, RuntimeError, BrokenProcessPool,
                 ImportError, AttributeError, TypeError,
@@ -147,7 +198,10 @@ class ParallelExecutor(Executor):
                 f"process pool unavailable ({exc.__class__.__name__}); "
                 f"falling back to serial",
             )
-            return SerialExecutor().map(units, logbook=logbook)
+            tele.count("engine.pool_fallbacks")
+            return SerialExecutor().map(
+                units, logbook=logbook, telemetry=telemetry
+            )
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(workers={self.workers})"

@@ -54,3 +54,11 @@ class WorkloadError(ReproError):
 
 class AnalysisError(ReproError):
     """Raw data handed to the analysis layer was inconsistent."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry instrument, manifest, or merge was used incorrectly."""
+
+
+class LogbookError(ReproError):
+    """A logbook entry used a kind outside the documented closed set."""

@@ -5,9 +5,10 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from ..errors import ConfigurationError
+from ..telemetry import Telemetry, console_summary
 from . import (
     ablations,
     ext_masking,
@@ -56,12 +57,15 @@ def run_experiment(
     seed: int = DEFAULT_SEED,
     time_scale: float = DEFAULT_TIME_SCALE,
     workers: int = 0,
+    telemetry: Optional[Telemetry] = None,
 ) -> ExperimentResult:
     """Run one experiment by id.
 
     ``workers`` reaches the drivers whose campaigns fan out through the
     :mod:`repro.engine` executors; drivers without a ``workers``
     parameter (analytic figures, ablations) simply ignore it.
+    ``telemetry`` wraps the driver in an ``experiment`` span and counts
+    ``experiments.run`` per artifact regenerated.
     """
     if experiment_id not in EXPERIMENTS:
         raise ConfigurationError(
@@ -72,7 +76,12 @@ def run_experiment(
     kwargs = {"seed": seed, "time_scale": time_scale}
     if "workers" in inspect.signature(runner).parameters:
         kwargs["workers"] = workers
-    return runner(**kwargs)
+    if telemetry is None:
+        return runner(**kwargs)
+    with telemetry.span("experiment", id=experiment_id):
+        result = runner(**kwargs)
+    telemetry.count("experiments.run", id=experiment_id)
+    return result
 
 
 def main(argv=None) -> int:
@@ -102,8 +111,14 @@ def main(argv=None) -> int:
         default=0,
         help="campaign sessions to fly concurrently (0/1 = serial)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="time each experiment and print a telemetry summary",
+    )
     args = parser.parse_args(argv)
 
+    telemetry = Telemetry() if args.telemetry else None
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for experiment_id in ids:
         result = run_experiment(
@@ -111,9 +126,14 @@ def main(argv=None) -> int:
             seed=args.seed,
             time_scale=args.time_scale,
             workers=args.workers,
+            telemetry=telemetry,
         )
         print(result.table.to_csv() if args.csv else result.render())
         print()
+    if telemetry is not None:
+        print(console_summary(metrics=telemetry.metrics))
+        print()
+        print(telemetry.tracer.render())
     return 0
 
 

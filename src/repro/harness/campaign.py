@@ -16,13 +16,14 @@ cross-session draw order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..engine import ExecutionContext, Executor, SerialExecutor, WorkUnit
 from ..errors import SessionError
 from ..rng import RngStreams
 from ..soc.xgene2 import XGene2
+from ..telemetry import MetricsRegistry, NULL_TELEMETRY, stable_config_hash
 from .session import (
     BeamSession,
     SessionPlan,
@@ -58,20 +59,32 @@ class CampaignResult:
 
 
 def _fly_session(
-    plan: SessionPlan, seed: int, vectorized: bool = True
-) -> Tuple[SessionResult, int]:
+    plan: SessionPlan,
+    seed: int,
+    vectorized: bool = True,
+    with_metrics: bool = False,
+) -> Tuple[SessionResult, int, Optional[dict]]:
     """Fly one session on a fresh chip (module-level: must pickle).
 
     The session's stream is derived from ``(seed, plan.label)`` inside
     :class:`BeamSession`, so this function is a pure function of its
     arguments -- the foundation of the serial/parallel determinism
     guarantee.
+
+    When *with_metrics* is set, the session counts into a private
+    registry whose snapshot rides home with the result; the parent
+    merges snapshots in submission order, so the merged counts are
+    identical no matter which process (or how many) flew the sessions.
     """
+    metrics = MetricsRegistry() if with_metrics else None
     chip = XGene2()
     session = BeamSession(
-        plan, RngStreams(seed), chip=chip, vectorized=vectorized
+        plan, RngStreams(seed), chip=chip, vectorized=vectorized,
+        metrics=metrics,
     )
-    return session.run(), chip.sram_data_bits
+    result = session.run()
+    snapshot = metrics.to_dict() if metrics is not None else None
+    return result, chip.sram_data_bits, snapshot
 
 
 class Campaign:
@@ -129,21 +142,55 @@ class Campaign:
         # Back-compat: pre-engine callers reached for campaign.streams.
         self.streams = context.streams
 
+    def config_hash(self) -> str:
+        """Stable hash of the flown configuration (plans + root inputs).
+
+        Recorded in the run manifest so a results directory can always
+        be traced back to the exact configuration that produced it.
+        """
+        return stable_config_hash(
+            {
+                "seed": self.context.seed,
+                "time_scale": self.context.time_scale,
+                "flux_per_cm2_s": self.context.flux_per_cm2_s,
+                "vectorized": self.vectorized,
+                "plans": [asdict(plan) for plan in self.plans],
+            }
+        )
+
     def run(self) -> CampaignResult:
-        """Fly every session on a fresh chip; return all results."""
+        """Fly every session on a fresh chip; return all results.
+
+        With a telemetry sink on the context, each work unit flies with
+        a private metrics registry and ships its snapshot back; the
+        merge happens here, strictly in submission order, so the merged
+        counts are bit-identical between serial and parallel executors.
+        """
+        telemetry = self.context.telemetry or NULL_TELEMETRY
         units = [
             WorkUnit(
                 key=plan.label,
                 fn=_fly_session,
                 args=(plan, self.context.seed),
-                kwargs={"vectorized": self.vectorized},
+                kwargs={
+                    "vectorized": self.vectorized,
+                    "with_metrics": telemetry.enabled,
+                },
             )
             for plan in self.plans
         ]
         result = CampaignResult()
-        outcomes = self.executor.map(units, logbook=self.context.logbook)
-        for plan, (session_result, sram_bits) in zip(self.plans, outcomes):
-            result.sessions[plan.label] = session_result
-            if not result.sram_bits:
-                result.sram_bits = sram_bits
+        with telemetry.span("campaign.run", sessions=len(units)):
+            outcomes = self.executor.map(
+                units,
+                logbook=self.context.logbook,
+                telemetry=self.context.telemetry,
+            )
+            for plan, (session_result, sram_bits, snapshot) in zip(
+                self.plans, outcomes
+            ):
+                telemetry.merge_snapshot(snapshot)
+                result.sessions[plan.label] = session_result
+                if not result.sram_bits:
+                    result.sram_bits = sram_bits
         return result

@@ -9,7 +9,26 @@ from their serial-console captures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import FrozenSet, Iterator, List, Optional
+
+from ..errors import LogbookError
+
+#: The closed set of entry categories.  "engine" is the execution
+#: layer's dispatch/completion channel; everything else mirrors the
+#: serial-console vocabulary of the paper's session captures.
+VALID_KINDS: FrozenSet[str] = frozenset(
+    {
+        "run",
+        "ok",
+        "sdc",
+        "appcrash",
+        "syscrash",
+        "reset",
+        "powercycle",
+        "note",
+        "engine",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -21,8 +40,9 @@ class LogEntry:
     time_s:
         Seconds since session start.
     kind:
-        Entry category: "run", "ok", "sdc", "appcrash", "syscrash",
-        "reset", "powercycle", "note".
+        Entry category; one of :data:`VALID_KINDS` ("run", "ok",
+        "sdc", "appcrash", "syscrash", "reset", "powercycle", "note",
+        "engine").
     message:
         Free-form detail.
     benchmark:
@@ -59,7 +79,20 @@ class Logbook:
         message: str,
         benchmark: Optional[str] = None,
     ) -> LogEntry:
-        """Append one entry and return it."""
+        """Append one entry and return it.
+
+        Raises
+        ------
+        LogbookError
+            If *kind* is outside the documented closed set -- a typo'd
+            kind would otherwise silently vanish from every
+            ``count``/``entries`` query that spells it correctly.
+        """
+        if kind not in VALID_KINDS:
+            raise LogbookError(
+                f"unknown logbook kind {kind!r}; "
+                f"expected one of {sorted(VALID_KINDS)}"
+            )
         entry = LogEntry(
             time_s=time_s, kind=kind, message=message, benchmark=benchmark
         )

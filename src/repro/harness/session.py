@@ -28,6 +28,7 @@ from ..injection.injector import BeamInjector, InjectionSummary
 from ..injection.propagation import OutcomeModel
 from ..rng import RngStreams
 from ..soc.dvfs import OperatingPoint, TABLE3_OPERATING_POINTS
+from ..telemetry import MetricsRegistry
 from ..soc.edac import EdacLog
 from ..soc.xgene2 import XGene2
 from ..units import bits_to_mbit
@@ -184,6 +185,11 @@ class BeamSession:
         Root RNG stream factory (one per campaign).
     chip:
         Optional pre-built chip (a fresh one is made by default).
+    metrics:
+        Optional :class:`~repro.telemetry.MetricsRegistry` the session
+        counts runs (by verdict), failures and injector activity into.
+        Observational only; the flown result is byte-identical with or
+        without it.
     """
 
     def __init__(
@@ -194,12 +200,17 @@ class BeamSession:
         rate_model: LevelRateModel = None,
         outcome_mix: OutcomeMixModel = None,
         vectorized: bool = True,
+        metrics: "MetricsRegistry" = None,
     ) -> None:
         self.plan = plan
         self.streams = streams
         self.chip = chip or XGene2()
+        self.metrics = metrics
         self.injector = BeamInjector(
-            self.chip, rate_model=rate_model, vectorized=vectorized
+            self.chip,
+            rate_model=rate_model,
+            vectorized=vectorized,
+            metrics=metrics,
         )
         outcome_model = (
             OutcomeModel(mix=outcome_mix) if outcome_mix else OutcomeModel()
@@ -239,6 +250,16 @@ class BeamSession:
             failures.extend(outcome.failures)
             runs.append(outcome)
             clock_s += duration_s
+            if self.metrics is not None:
+                verdict = outcome.verdict
+                self.metrics.counter(
+                    "session.runs",
+                    kind="ok" if verdict is None else verdict.value,
+                ).inc()
+                for failure in outcome.failures:
+                    self.metrics.counter(
+                        "session.failures", kind=failure.kind.value
+                    ).inc()
 
             if (
                 plan.target_failures is not None
@@ -252,6 +273,8 @@ class BeamSession:
                 break
 
         failures.sort(key=lambda f: f.time_s)
+        if self.metrics is not None:
+            self.metrics.counter("session.flown").inc()
         return SessionResult(
             plan=plan,
             fluence=fluence,

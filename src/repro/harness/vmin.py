@@ -29,6 +29,7 @@ from ..constants import PMD_NOMINAL_MV, VOLTAGE_STEP_MV
 from ..engine import Executor, SerialExecutor, WorkUnit
 from ..errors import ConfigurationError
 from ..rng import as_generator
+from ..telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -185,12 +186,16 @@ def characterize_all(
     seed: int = 0,
     runs_per_voltage: int = 300,
     executor: Optional[Executor] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[int, VminResult]:
     """Characterize both studied frequencies (the Fig. 4 pair).
 
     Each frequency sweep is one engine work unit; its stream is derived
     from ``(seed, frequency)`` alone, so serial and parallel executors
-    produce identical curves.
+    produce identical curves.  A telemetry sink receives one
+    ``vmin.sweeps`` count and a ``vmin.safe_mv`` gauge per frequency
+    (derived from the merged results, so executor choice cannot change
+    them).
     """
     executor = executor or SerialExecutor()
     freqs = list(PFAIL_MODELS)
@@ -202,5 +207,16 @@ def characterize_all(
         )
         for freq in freqs
     ]
-    results = executor.map(units)
-    return dict(zip(freqs, results))
+    results = executor.map(units, telemetry=telemetry)
+    characterized = dict(zip(freqs, results))
+    if telemetry is not None:
+        for freq, result in characterized.items():
+            telemetry.count("vmin.sweeps", freq_mhz=freq)
+            telemetry.count(
+                "vmin.runs", len(result.pfail_curve) * runs_per_voltage,
+                freq_mhz=freq,
+            )
+            telemetry.set_gauge(
+                "vmin.safe_mv", result.safe_vmin_mv, freq_mhz=freq
+            )
+    return characterized

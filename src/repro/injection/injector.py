@@ -54,6 +54,7 @@ from ..soc.xgene2 import XGene2
 from ..sram.array import UpsetRecord
 from ..sram.mbu import MbuCluster, MbuModel
 from ..sram.protection import DecodeStatus
+from ..telemetry import MetricsRegistry
 from ..workloads.profiles import benchmark_rate_share
 from .calibration import LEVEL_DOMAIN, LevelRateModel
 from .events import UpsetEvent
@@ -139,6 +140,11 @@ class BeamInjector:
         Use the batched numpy realization path (default).  ``False``
         selects the original per-event loop; both sample the same
         distributions.
+    metrics:
+        Optional :class:`~repro.telemetry.MetricsRegistry` the injector
+        counts exposures, drawn events and realized upsets into.
+        Purely observational: it reads results, never an RNG stream, so
+        injection output is byte-identical with or without it.
     """
 
     def __init__(
@@ -147,11 +153,13 @@ class BeamInjector:
         rate_model: LevelRateModel = None,
         mbu_model: MbuModel = None,
         vectorized: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.chip = chip
         self.rate_model = rate_model or LevelRateModel()
         self.mbu_model = mbu_model or MbuModel()
         self.vectorized = vectorized
+        self.metrics = metrics
         # Capacity-weighted array choice within each level.
         self._level_arrays: Dict[CacheLevel, Tuple[List[str], np.ndarray]] = {}
         self._arrays: Dict[CacheLevel, list] = {}
@@ -174,6 +182,17 @@ class BeamInjector:
         # that key, and a session re-runs the same handful of keys
         # thousands of times.
         self._rate_cache: Dict[tuple, np.ndarray] = {}
+        # Pre-bound counter handles: the hot path pays one attribute
+        # load and an integer add, never a registry lookup.
+        self._exposures_counter = None
+        self._event_counters: Dict[CacheLevel, object] = {}
+        self._upset_counters: Dict[tuple, object] = {}
+        if metrics is not None:
+            self._exposures_counter = metrics.counter("injector.exposures")
+            self._event_counters = {
+                level: metrics.counter("injector.events", level=level.value)
+                for level in self._levels
+            }
 
     def expected_rate_per_min(
         self,
@@ -237,12 +256,36 @@ class BeamInjector:
         if duration_s < 0:
             raise InjectionError("exposure duration must be nonnegative")
         if self.vectorized:
-            return self._expose_vectorized(
+            summary = self._expose_vectorized(
                 duration_s, rng, benchmark, flux_per_cm2_s, time_offset_s
             )
-        return self._expose_scalar(
-            duration_s, rng, benchmark, flux_per_cm2_s, time_offset_s
-        )
+        else:
+            summary = self._expose_scalar(
+                duration_s, rng, benchmark, flux_per_cm2_s, time_offset_s
+            )
+        if self._exposures_counter is not None:
+            self._exposures_counter.inc()
+            self._count_upsets(summary)
+        return summary
+
+    def _count_upsets(self, summary: InjectionSummary) -> None:
+        """Meter the realized upsets, batched per (level, severity).
+
+        Counting off ``summary.counts`` after the segment (rather than
+        per event inside :meth:`_log_and_collect`) keeps the hot loop
+        free of instrumentation; the totals are identical because every
+        collected upset also bumps its count bucket.
+        """
+        for (level, severity), n in summary.counts.items():
+            key = (level, severity)
+            counter = self._upset_counters.get(key)
+            if counter is None:
+                counter = self._upset_counters[key] = self.metrics.counter(
+                    "injector.upsets",
+                    level=level.value,
+                    severity=severity.value,
+                )
+            counter.inc(n)
 
     # -- vectorized hot path ----------------------------------------------------
 
@@ -265,6 +308,8 @@ class BeamInjector:
             n = int(n)
             if n == 0:
                 continue
+            if self._event_counters:
+                self._event_counters[level].inc(n)
             arrays = self._arrays[level]
             _names, probs = self._level_arrays[level]
             times = np.sort(rng.uniform(0.0, duration_s, size=n))
@@ -323,6 +368,8 @@ class BeamInjector:
             n_events = int(rng.poisson(expected))
             if n_events == 0:
                 continue
+            if self._event_counters:
+                self._event_counters[level].inc(n_events)
             times = np.sort(rng.uniform(0.0, duration_s, size=n_events))
             undervolt = self._undervolt_fraction(
                 level, point.pmd_mv, point.soc_mv

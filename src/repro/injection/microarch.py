@@ -284,6 +284,7 @@ class MicroarchInjector:
             raise InjectionError("injection count must be positive")
         context = context or ExecutionContext()
         executor = executor or SerialExecutor()
+        telemetry = context.telemetry
         names = [s.name for s in self.structures]
         units = [
             WorkUnit(
@@ -299,7 +300,21 @@ class MicroarchInjector:
             )
             for name in names
         ]
-        results = executor.map(units, logbook=context.logbook)
+        results = executor.map(
+            units, logbook=context.logbook, telemetry=telemetry
+        )
+        if telemetry is not None:
+            # Counted from the merged results on the submitting side,
+            # so executor choice cannot change the totals.
+            for result in results:
+                telemetry.count("microarch.campaigns")
+                telemetry.count("microarch.injections", result.injections)
+                for kind, n in sorted(
+                    result.outcomes.items(), key=lambda kv: kv[0].value
+                ):
+                    telemetry.count(
+                        "microarch.outcomes", n, kind=kind.value
+                    )
         return dict(zip(names, results))
 
     # -- FIT estimation (design implication #3) ---------------------------------

@@ -1,9 +1,9 @@
 """On-disk results directory: campaign JSON + one CSV per artifact.
 
 ``ResultsDirectory`` gives the reproduction the same artifact layout a
-real campaign leaves behind: the raw data (``campaign.json``), the
-regenerated tables (``table2.csv`` ... ``fig13.csv``), and the session
-logcaptures (``<label>.dmesg``).
+real campaign leaves behind: the raw data (``campaign.json``), the run
+bookkeeping (``manifest.json``), the regenerated tables (``table2.csv``
+... ``fig13.csv``), and the session logcaptures (``<label>.dmesg``).
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 from ..core.report import Table, write_csv
 from ..errors import AnalysisError
 from ..harness.campaign import CampaignResult
+from ..telemetry import RunManifest
 from .json_store import load_campaign, save_campaign
 
 
@@ -27,6 +28,7 @@ class ResultsDirectory:
     """
 
     CAMPAIGN_FILE = "campaign.json"
+    MANIFEST_FILE = "manifest.json"
 
     def __init__(self, root: str) -> None:
         self.root = root
@@ -56,6 +58,31 @@ class ResultsDirectory:
     def has_campaign(self) -> bool:
         """True if a campaign JSON exists."""
         return os.path.exists(self._path(self.CAMPAIGN_FILE))
+
+    # -- run manifest ----------------------------------------------------------
+
+    def save_manifest(self, manifest: RunManifest) -> str:
+        """Persist the run manifest; returns the JSON path."""
+        self._ensure_root()
+        path = self._path(self.MANIFEST_FILE)
+        with open(path, "w") as handle:
+            handle.write(manifest.to_json())
+        return path
+
+    def load_manifest(self) -> RunManifest:
+        """Reload the run manifest."""
+        path = self._path(self.MANIFEST_FILE)
+        if not os.path.exists(path):
+            raise AnalysisError(
+                f"no run manifest stored under {self.root!r} "
+                f"(fly one with 'repro-campaign run')"
+            )
+        with open(path) as handle:
+            return RunManifest.from_json(handle.read())
+
+    def has_manifest(self) -> bool:
+        """True if a run manifest exists."""
+        return os.path.exists(self._path(self.MANIFEST_FILE))
 
     # -- tables ------------------------------------------------------------------
 

@@ -1,0 +1,147 @@
+"""Run manifests: what configuration produced this results directory?
+
+Beam-test practice treats the session log as a first-class artifact --
+the paper's fluence tables are reconstructed from per-session
+bookkeeping, not memory.  :class:`RunManifest` is the reproduction's
+equivalent: every ``repro-campaign run`` leaves a ``manifest.json``
+next to ``campaign.json`` recording the seed, time scale, executor,
+package version, a stable hash of the flown configuration, per-stage
+durations, and (when telemetry is enabled) the merged metrics snapshot
+and span tree.
+
+The manifest is *about* a determinism-checked artifact but is not one
+itself: it may carry wall-clock timings, while ``campaign.json`` never
+does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import TelemetryError
+
+MANIFEST_SCHEMA = 1
+
+
+def stable_config_hash(config: object) -> str:
+    """A short stable hash of any JSON-encodable configuration.
+
+    Non-JSON leaves fall back to ``repr``; keys are sorted, so two
+    structurally equal configurations always hash alike across
+    processes and Python versions.
+    """
+    encoded = json.dumps(config, sort_keys=True, default=repr)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to account for (and re-fly) one run.
+
+    Attributes
+    ----------
+    seed / time_scale:
+        The campaign's determinism inputs.
+    executor / workers:
+        Engine executor name and worker count used.
+    version:
+        ``repro`` package version that produced the run.
+    config_hash:
+        Stable hash of the flown session plans (see
+        :func:`stable_config_hash`).
+    created_unix:
+        Wall-clock creation time (seconds since the epoch).
+    stages:
+        Per-stage durations in seconds, from the tracer
+        (``path -> seconds``).
+    metrics:
+        Merged :class:`~repro.telemetry.metrics.MetricsRegistry`
+        snapshot (empty when telemetry was off).
+    spans:
+        Span-tree encoding from the tracer (empty when telemetry was
+        off).
+    command:
+        The CLI invocation, when launched from the shell.
+    """
+
+    seed: int
+    time_scale: float
+    executor: str
+    workers: int
+    version: str
+    config_hash: str
+    created_unix: float = field(default_factory=time.time)
+    stages: Dict[str, float] = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    spans: List[dict] = field(default_factory=list)
+    command: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """JSON-able encoding."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "seed": self.seed,
+            "time_scale": self.time_scale,
+            "executor": self.executor,
+            "workers": self.workers,
+            "version": self.version,
+            "config_hash": self.config_hash,
+            "created_unix": self.created_unix,
+            "stages": dict(self.stages),
+            "metrics": self.metrics,
+            "spans": list(self.spans),
+            "command": self.command,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        """Decode a manifest; raises on wrong schema or missing fields."""
+        if not isinstance(data, dict):
+            raise TelemetryError("manifest is not a JSON object")
+        if data.get("schema") != MANIFEST_SCHEMA:
+            raise TelemetryError(
+                f"unsupported manifest schema {data.get('schema')!r} "
+                f"(expected {MANIFEST_SCHEMA})"
+            )
+        try:
+            return cls(
+                seed=int(data["seed"]),
+                time_scale=float(data["time_scale"]),
+                executor=str(data["executor"]),
+                workers=int(data["workers"]),
+                version=str(data["version"]),
+                config_hash=str(data["config_hash"]),
+                created_unix=float(data.get("created_unix", 0.0)),
+                stages={
+                    k: float(v) for k, v in data.get("stages", {}).items()
+                },
+                metrics=dict(data.get("metrics", {})),
+                spans=list(data.get("spans", [])),
+                command=data.get("command"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TelemetryError(f"malformed manifest: {exc!r}") from exc
+
+    def to_json(self, indent: int = 2) -> str:
+        """The manifest as a JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        """Decode a manifest from JSON text."""
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise TelemetryError(f"manifest is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    @property
+    def created_iso(self) -> str:
+        """Creation time as a UTC ISO-8601 string."""
+        return time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.created_unix)
+        )

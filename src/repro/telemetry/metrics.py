@@ -1,0 +1,274 @@
+"""Counters, gauges and fixed-bucket histograms for the hot path.
+
+The registry is deliberately minimal: a metric is a name plus a sorted
+label tuple, and the instruments are plain Python objects with one
+mutable slot each, cheap enough to increment inside the injector's
+per-upset loop.  Nothing in here ever touches an RNG stream, the wall
+clock, or any other global -- instrumentation on vs. off cannot change
+a campaign's draws.
+
+Two determinism rules shape the design:
+
+* **Counts are deterministic.**  Counter values are pure functions of
+  the work performed, so a registry merged from per-work-unit snapshots
+  in submission order is bit-identical between serial and parallel
+  executions (asserted in ``tests/telemetry/``).
+* **Timings are quarantined.**  Durations only ever land in histograms
+  (and in span trees, see :mod:`repro.telemetry.tracing`); the
+  count-comparison helpers (:meth:`MetricsRegistry.counter_values`)
+  deliberately exclude them, so no determinism-checked artifact
+  contains a wall-clock number.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import TelemetryError
+
+#: Default histogram bucket upper bounds, in seconds -- spans campaign
+#: stages from sub-millisecond unit dispatch to hour-long sessions.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 600.0,
+)
+
+#: A metric identity: (name, ((label, value), ...)).
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _labels_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing integer count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add *n* (must be nonnegative) to the count."""
+        if n < 0:
+            raise TelemetryError(f"{self.name}: counters cannot decrease")
+        self.value += int(n)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{dict(self.labels)}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge's value."""
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{dict(self.labels)}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram of nonnegative observations.
+
+    Buckets are upper bounds; an implicit +Inf bucket catches the tail.
+    Per-bucket counts are *non-cumulative* in memory and cumulated only
+    at export time (the Prometheus convention).
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...],
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise TelemetryError(f"{name}: buckets must be sorted and nonempty")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1: the +Inf tail
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}{dict(self.labels)}, "
+            f"count={self.count}, sum={self.sum:.6g})"
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument, with deterministic export.
+
+    Instruments are addressed by ``(name, labels)``; repeated lookups
+    return the same object, so hot paths can also hold the handle
+    directly and skip the dict lookup entirely.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._gauges: Dict[MetricKey, Gauge] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+
+    # -- instrument access -----------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        key = (name, _labels_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        key = (name, _labels_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        key = (name, _labels_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1], buckets)
+        return instrument
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- determinism-checked views ---------------------------------------------
+
+    def counter_values(self) -> Dict[str, int]:
+        """Every counter as ``name{label=value,...} -> count``.
+
+        This is the *only* view the determinism tests compare: it
+        contains event counts and nothing time-derived.
+        """
+        return {
+            _render_key(name, labels): c.value
+            for (name, labels), c in sorted(self._counters.items())
+        }
+
+    # -- merging -----------------------------------------------------------------
+
+    def merge(self, snapshot: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or its ``to_dict`` snapshot) into this one.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last write wins).  Work units hand their registry back to
+        the parent as a snapshot, and the parent merges strictly in
+        submission order, which keeps the merged counts independent of
+        scheduling.
+        """
+        if isinstance(snapshot, MetricsRegistry):
+            snapshot = snapshot.to_dict()
+        for item in snapshot.get("counters", []):
+            self.counter(item["name"], **item["labels"]).inc(int(item["value"]))
+        for item in snapshot.get("gauges", []):
+            self.gauge(item["name"], **item["labels"]).set(item["value"])
+        for item in snapshot.get("histograms", []):
+            hist = self.histogram(
+                item["name"], tuple(item["buckets"]), **item["labels"]
+            )
+            if hist.buckets != tuple(item["buckets"]):
+                raise TelemetryError(
+                    f"{item['name']}: bucket layout mismatch on merge"
+                )
+            for idx, n in enumerate(item["counts"]):
+                hist.counts[idx] += int(n)
+            hist.sum += float(item["sum"])
+            hist.count += int(item["count"])
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A picklable/JSON-able snapshot, deterministically ordered."""
+        return {
+            "counters": [
+                {"name": name, "labels": dict(labels), "value": c.value}
+                for (name, labels), c in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {"name": name, "labels": dict(labels), "value": g.value}
+                for (name, labels), g in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                {
+                    "name": name,
+                    "labels": dict(labels),
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for (name, labels), h in sorted(self._histograms.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a snapshot."""
+        registry = cls()
+        registry.merge(data)
+        return registry
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    # -- iteration (exporters) ---------------------------------------------------
+
+    def counters(self) -> List[Counter]:
+        """All counters in deterministic order."""
+        return [c for _, c in sorted(self._counters.items())]
+
+    def gauges(self) -> List[Gauge]:
+        """All gauges in deterministic order."""
+        return [g for _, g in sorted(self._gauges.items())]
+
+    def histograms(self) -> List[Histogram]:
+        """All histograms in deterministic order."""
+        return [h for _, h in sorted(self._histograms.items())]
+
+
+def _render_key(name: str, labels: Iterable[Tuple[str, str]]) -> str:
+    labels = tuple(labels)
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"

@@ -1,0 +1,84 @@
+"""The `Telemetry` facade: one object instrumented code talks to.
+
+Runners and executors accept an optional :class:`Telemetry`; when it is
+absent they fall back to :data:`NULL_TELEMETRY`, a permanently disabled
+instance whose every operation is a no-op, so hot paths carry no
+``if telemetry is not None`` branching of their own.
+
+The facade enforces the subsystem's one invariant by construction: it
+exposes clocks and counts, never randomness -- there is no way to reach
+an RNG stream through it, so instrumentation cannot perturb a
+campaign's draws.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import ContextManager, Optional
+
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry
+from .tracing import Tracer
+
+_NULL_CONTEXT: ContextManager[None] = nullcontext()
+
+
+class Telemetry:
+    """Bundles a metrics registry and a tracer behind one switch.
+
+    Parameters
+    ----------
+    enabled:
+        When False, every method is a no-op and nothing is allocated
+        per call -- the configuration :data:`NULL_TELEMETRY` ships.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=enabled)
+
+    def span(self, name: str, **labels: object) -> ContextManager:
+        """Open a tracer span (a shared no-op context when disabled)."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return self.tracer.span(name, **labels)
+
+    def count(self, name: str, n: int = 1, **labels: object) -> None:
+        """Increment a counter."""
+        if self.enabled:
+            self.metrics.counter(name, **labels).inc(n)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one histogram observation (default buckets)."""
+        if self.enabled:
+            self.metrics.histogram(name, DEFAULT_BUCKETS, **labels).observe(
+                value
+            )
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set a gauge."""
+        if self.enabled:
+            self.metrics.gauge(name, **labels).set(value)
+
+    def merge_snapshot(self, snapshot: Optional[dict]) -> None:
+        """Fold a work unit's registry snapshot in (submission order!).
+
+        Callers must merge snapshots in submission order, not
+        completion order -- that is what keeps merged counts identical
+        between serial and parallel executions.
+        """
+        if self.enabled and snapshot:
+            self.metrics.merge(snapshot)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Telemetry({state}, {len(self.metrics)} instruments)"
+
+
+#: The shared disabled instance instrumented code defaults to.
+NULL_TELEMETRY = Telemetry(enabled=False)

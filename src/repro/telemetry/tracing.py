@@ -1,0 +1,156 @@
+"""Span-based tracing: a nestable tree of timed stages.
+
+A span brackets one stage of a run (``with tracer.span("fly_session",
+label="session3"): ...``) and records both a wall-clock start (for
+humans reading a manifest) and a monotonic duration (for correctness:
+wall clocks can step, ``time.perf_counter`` cannot).  Spans nest: a
+span opened while another is active becomes its child, so a campaign
+run leaves behind a tree like::
+
+    campaign.run                      12.41s
+      executor.map                    12.40s
+        unit session1                  3.52s
+        ...
+
+Tracing shares the telemetry determinism rule: it reads clocks but
+never an RNG stream, and its output (being all timings) is excluded
+from every determinism-checked artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One timed stage.
+
+    Attributes
+    ----------
+    name:
+        Stage label, e.g. ``"fly_session"``.
+    labels:
+        Extra discriminators (session label, executor name, ...).
+    started_unix:
+        Wall-clock start (seconds since the epoch).
+    duration_s:
+        Monotonic duration; 0 while the span is still open.
+    children:
+        Spans opened while this one was active.
+    """
+
+    name: str
+    labels: Dict[str, str] = field(default_factory=dict)
+    started_unix: float = 0.0
+    duration_s: float = 0.0
+    children: List["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-able encoding of the span subtree."""
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "started_unix": self.started_unix,
+            "duration_s": self.duration_s,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a span subtree from its encoding."""
+        return cls(
+            name=data["name"],
+            labels=dict(data.get("labels", {})),
+            started_unix=float(data.get("started_unix", 0.0)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+    def walk(self, depth: int = 0) -> Iterator[tuple]:
+        """Yield ``(depth, span)`` over the subtree, pre-order."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+class Tracer:
+    """Collects a forest of spans via a context-manager API.
+
+    Disabled tracers (``Tracer(enabled=False)``) skip all bookkeeping,
+    so instrumented code does not need its own on/off branches.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **labels: object) -> Iterator[Optional[Span]]:
+        """Open a span around a block; close and time it on exit."""
+        if not self.enabled:
+            yield None
+            return
+        span = Span(
+            name=name,
+            labels={k: str(v) for k, v in labels.items()},
+            started_unix=time.time(),
+        )
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+        self._stack.append(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration_s = time.perf_counter() - started
+            self._stack.pop()
+
+    @property
+    def roots(self) -> List[Span]:
+        """Top-level spans, in open order."""
+        return list(self._roots)
+
+    def stage_durations(self) -> Dict[str, float]:
+        """Flattened ``path -> seconds`` view of the forest.
+
+        Paths join nested span names with ``/``; repeated paths (e.g.
+        one span per session) sum their durations, which is what a
+        manifest's per-stage accounting wants.
+        """
+        durations: Dict[str, float] = {}
+
+        def visit(span: Span, prefix: str) -> None:
+            path = f"{prefix}/{span.name}" if prefix else span.name
+            durations[path] = durations.get(path, 0.0) + span.duration_s
+            for child in span.children:
+                visit(child, path)
+
+        for root in self._roots:
+            visit(root, "")
+        return durations
+
+    def to_list(self) -> List[dict]:
+        """JSON-able encoding of the whole forest."""
+        return [root.to_dict() for root in self._roots]
+
+    def render(self, indent: int = 2) -> str:
+        """The forest as an indented console tree."""
+        lines = []
+        for root in self._roots:
+            for depth, span in root.walk():
+                label = (
+                    " ".join(f"{k}={v}" for k, v in sorted(span.labels.items()))
+                )
+                suffix = f"  [{label}]" if label else ""
+                lines.append(
+                    f"{' ' * (indent * depth)}{span.name:<32} "
+                    f"{span.duration_s * 1e3:10.1f} ms{suffix}"
+                )
+        return "\n".join(lines)

@@ -1,6 +1,10 @@
 """Session logbook."""
 
-from repro.harness.logbook import Logbook, LogEntry
+import pytest
+
+from repro.engine.context import Logbook as LogbookProtocol
+from repro.errors import LogbookError, ReproError
+from repro.harness.logbook import Logbook, LogEntry, VALID_KINDS
 
 
 class TestLogbook:
@@ -38,3 +42,34 @@ class TestLogbook:
         for t in (1.0, 2.0, 3.0):
             book.record(t, "run", "x")
         assert [e.time_s for e in book] == [1.0, 2.0, 3.0]
+
+
+class TestKindValidation:
+    def test_every_documented_kind_accepted(self):
+        book = Logbook()
+        for kind in sorted(VALID_KINDS):
+            book.record(0.0, kind, "x")
+        assert len(book) == len(VALID_KINDS)
+
+    def test_unknown_kind_rejected_with_clear_error(self):
+        book = Logbook()
+        with pytest.raises(LogbookError) as excinfo:
+            book.record(1.0, "sdcc", "typo'd kind")
+        message = str(excinfo.value)
+        assert "sdcc" in message
+        assert "sdc" in message  # the error lists the valid choices
+        assert len(book) == 0  # nothing appended
+
+    def test_logbook_error_is_a_repro_error(self):
+        assert issubclass(LogbookError, ReproError)
+
+
+class TestProtocolConformance:
+    def test_concrete_logbook_satisfies_engine_protocol(self):
+        # The engine's structural Logbook type (a typing.Protocol) must
+        # accept the harness implementation without either module
+        # importing the other.
+        assert isinstance(Logbook(), LogbookProtocol)
+
+    def test_arbitrary_object_does_not_satisfy_protocol(self):
+        assert not isinstance(object(), LogbookProtocol)

@@ -1,0 +1,109 @@
+"""The subsystem's two headline guarantees, end to end.
+
+1. **Telemetry never perturbs a run.**  Instrumentation reads clocks
+   and bumps counters but never touches an RNG stream, so a campaign
+   flown with telemetry on is byte-identical (through the canonical
+   JSON serialization) to one flown with telemetry off.
+2. **Merged counts are execution-order independent.**  Work units ship
+   their registry snapshots home and the parent merges them in
+   submission order, so the counter values a parallel campaign reports
+   are identical to the serial ones.
+"""
+
+import json
+
+import pytest
+
+from repro import Campaign, ExecutionContext, ParallelExecutor, SerialExecutor
+from repro.io.json_store import campaign_to_dict
+from repro.telemetry import Telemetry
+
+#: Small but non-trivial: every session still realizes upsets/failures.
+SCALE = 0.01
+
+
+def _canonical(campaign) -> str:
+    return json.dumps(campaign_to_dict(campaign), sort_keys=True)
+
+
+def _run(telemetry=None, executor=None):
+    context = ExecutionContext(seed=99, time_scale=SCALE, telemetry=telemetry)
+    campaign = Campaign(context=context, executor=executor or SerialExecutor())
+    return _canonical(campaign.run())
+
+
+def _event_counts(telemetry) -> dict:
+    """Counter values minus the ``engine.`` dispatch channel.
+
+    Engine counters describe *how* the batch executed (e.g. pool
+    fallbacks on spawn-restricted hosts), not *what* the campaign did;
+    the determinism contract covers the latter.
+    """
+    return {
+        key: value
+        for key, value in telemetry.metrics.counter_values().items()
+        if not key.startswith("engine.")
+    }
+
+
+@pytest.fixture(scope="module")
+def plain_bytes():
+    return _run(telemetry=None)
+
+
+class TestTelemetryIsInert:
+    def test_on_vs_off_byte_identical(self, plain_bytes):
+        assert _run(telemetry=Telemetry()) == plain_bytes
+
+    def test_on_vs_off_byte_identical_parallel(self, plain_bytes):
+        assert (
+            _run(telemetry=Telemetry(), executor=ParallelExecutor(4))
+            == plain_bytes
+        )
+
+    def test_disabled_telemetry_also_inert(self, plain_bytes):
+        assert _run(telemetry=Telemetry(enabled=False)) == plain_bytes
+
+
+class TestMergedCountsAreDeterministic:
+    @pytest.fixture(scope="class")
+    def serial_counts(self):
+        telemetry = Telemetry()
+        _run(telemetry=telemetry)
+        return _event_counts(telemetry)
+
+    def test_serial_counts_nonempty(self, serial_counts):
+        assert any(k.startswith("injector.events") for k in serial_counts)
+        assert any(k.startswith("session.runs") for k in serial_counts)
+        assert serial_counts.get("session.flown") == 4
+
+    def test_serial_repeatable(self, serial_counts):
+        telemetry = Telemetry()
+        _run(telemetry=telemetry)
+        assert _event_counts(telemetry) == serial_counts
+
+    def test_parallel_counts_match_serial(self, serial_counts):
+        telemetry = Telemetry()
+        _run(telemetry=telemetry, executor=ParallelExecutor(4))
+        assert _event_counts(telemetry) == serial_counts
+
+    def test_two_workers_match_four(self, serial_counts):
+        telemetry = Telemetry()
+        _run(telemetry=telemetry, executor=ParallelExecutor(2))
+        assert _event_counts(telemetry) == serial_counts
+
+
+class TestSpansStayOutOfTheArtifact:
+    def test_campaign_json_carries_no_wall_clock_keys(self, plain_bytes):
+        # The artifact's duration_s fields are *simulated* beam seconds
+        # (deterministic); the tracer's wall-clock vocabulary must never
+        # leak into it.
+        for forbidden in ("started_unix", "created_unix", "stage_durations"):
+            assert forbidden not in plain_bytes
+
+    def test_campaign_span_tree_recorded(self):
+        telemetry = Telemetry()
+        _run(telemetry=telemetry)
+        paths = telemetry.tracer.stage_durations()
+        assert "campaign.run" in paths
+        assert "campaign.run/executor.map" in paths

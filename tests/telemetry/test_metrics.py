@@ -1,0 +1,142 @@
+"""Counters, gauges, histograms and the registry's merge semantics."""
+
+import pickle
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", a=1) is registry.counter("x", a=1)
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", a=1, b=2) is registry.counter(
+            "x", b=2, a=1
+        )
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("x", level="L2").inc()
+        registry.counter("x", level="L3").inc(2)
+        values = registry.counter_values()
+        assert values["x{level=L2}"] == 1
+        assert values["x{level=L3}"] == 2
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("vmin", freq=2400)
+        gauge.set(930)
+        gauge.set(920)
+        assert gauge.value == 920
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            hist.observe(v)
+        assert hist.counts == [2, 1, 1]  # <=1, <=10, +Inf
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.2)
+        assert hist.mean == pytest.approx(106.2 / 4)
+
+    def test_boundary_value_goes_to_its_bucket(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(1.0, 10.0))
+        hist.observe(1.0)
+        assert hist.counts == [1, 0, 0]
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().histogram("bad", buckets=(2.0, 1.0))
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestSnapshotAndMerge:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("events", level="L3").inc(7)
+        registry.gauge("vmin").set(920)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        return registry
+
+    def test_roundtrip_through_dict(self):
+        registry = self._populated()
+        clone = MetricsRegistry.from_dict(registry.to_dict())
+        assert clone.to_dict() == registry.to_dict()
+        assert clone.counter_values() == registry.counter_values()
+
+    def test_snapshot_is_picklable(self):
+        snapshot = self._populated().to_dict()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = self._populated(), self._populated()
+        a.merge(b)
+        assert a.counter("events", level="L3").value == 14
+        hist = a.histogram("lat", buckets=(1.0,))
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(1.0)
+
+    def test_merge_accepts_registry_or_dict(self):
+        a = self._populated()
+        a.merge(self._populated().to_dict())
+        assert a.counter("events", level="L3").value == 14
+
+    def test_merge_order_independence_of_counter_sums(self):
+        parts = []
+        for n in (1, 2, 3):
+            part = MetricsRegistry()
+            part.counter("x").inc(n)
+            parts.append(part.to_dict())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for part in parts:
+            forward.merge(part)
+        for part in reversed(parts):
+            backward.merge(part)
+        assert forward.counter_values() == backward.counter_values()
+
+    def test_bucket_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        snapshot = b.to_dict()
+        snapshot["histograms"][0]["buckets"] = [1.0, 3.0]
+        snapshot["histograms"][0]["counts"] = [1, 0, 0]
+        with pytest.raises(TelemetryError):
+            a.merge(snapshot)
+
+    def test_counter_values_excludes_timings(self):
+        registry = self._populated()
+        assert "lat" not in " ".join(registry.counter_values())
+        assert "vmin" not in " ".join(registry.counter_values())
+
+    def test_export_order_is_deterministic(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("b").inc()
+        a.counter("a").inc()
+        b.counter("a").inc()
+        b.counter("b").inc()
+        assert a.to_dict() == b.to_dict()

@@ -1,0 +1,63 @@
+"""The Telemetry facade and its disabled null object."""
+
+from repro.telemetry import NULL_TELEMETRY, MetricsRegistry, Telemetry, Tracer
+
+
+class TestEnabledFacade:
+    def test_count_observe_gauge_reach_registry(self):
+        telemetry = Telemetry()
+        telemetry.count("events", 3, level="L2")
+        telemetry.observe("latency", 0.5)
+        telemetry.set_gauge("vmin", 920)
+        assert telemetry.metrics.counter("events", level="L2").value == 3
+        assert telemetry.metrics.gauge("vmin").value == 920
+        assert telemetry.metrics.counter_values() == {"events{level=L2}": 3}
+
+    def test_span_reaches_tracer(self):
+        telemetry = Telemetry()
+        with telemetry.span("stage", label="x"):
+            pass
+        assert [r.name for r in telemetry.tracer.roots] == ["stage"]
+
+    def test_merge_snapshot_folds_worker_counts_in(self):
+        worker = MetricsRegistry()
+        worker.counter("events").inc(4)
+        telemetry = Telemetry()
+        telemetry.count("events", 1)
+        telemetry.merge_snapshot(worker.to_dict())
+        assert telemetry.metrics.counter("events").value == 5
+
+    def test_merge_snapshot_ignores_none(self):
+        telemetry = Telemetry()
+        telemetry.merge_snapshot(None)
+        assert len(telemetry.metrics) == 0
+
+    def test_accepts_injected_registry_and_tracer(self):
+        registry, tracer = MetricsRegistry(), Tracer()
+        telemetry = Telemetry(metrics=registry, tracer=tracer)
+        assert telemetry.metrics is registry
+        assert telemetry.tracer is tracer
+
+    def test_repr_mentions_state(self):
+        assert "enabled" in repr(Telemetry())
+        assert "disabled" in repr(NULL_TELEMETRY)
+
+
+class TestDisabledFacade:
+    def test_every_operation_is_a_noop(self):
+        telemetry = Telemetry(enabled=False)
+        with telemetry.span("ignored"):
+            telemetry.count("events")
+            telemetry.observe("latency", 1.0)
+            telemetry.set_gauge("vmin", 920)
+            telemetry.merge_snapshot({"counters": [], "gauges": [],
+                                      "histograms": []})
+        assert len(telemetry.metrics) == 0
+        assert telemetry.tracer.roots == []
+
+    def test_disabled_span_is_shared_nullcontext(self):
+        telemetry = Telemetry(enabled=False)
+        assert telemetry.span("a") is telemetry.span("b")
+
+    def test_null_telemetry_is_disabled(self):
+        assert NULL_TELEMETRY.enabled is False

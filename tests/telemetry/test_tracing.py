@@ -1,0 +1,107 @@
+"""Span nesting, stage durations, and tracer on/off behavior."""
+
+from repro.telemetry import Span, Tracer
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("campaign.run"):
+            with tracer.span("executor.map"):
+                with tracer.span("unit", label="session1"):
+                    pass
+                with tracer.span("unit", label="session2"):
+                    pass
+        roots = tracer.roots
+        assert [r.name for r in roots] == ["campaign.run"]
+        assert [c.name for c in roots[0].children] == ["executor.map"]
+        units = roots[0].children[0].children
+        assert [u.labels["label"] for u in units] == ["session1", "session2"]
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_durations_are_recorded(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        assert outer.duration_s >= outer.children[0].duration_s >= 0.0
+        assert outer.started_unix > 0.0
+
+    def test_span_survives_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tracer.roots[0].duration_s >= 0.0
+        # the stack unwound: the next span is a root, not a child
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["boom", "after"]
+
+
+class TestStageDurations:
+    def test_paths_join_with_slash_and_repeats_sum(self):
+        tracer = Tracer()
+        with tracer.span("campaign.run"):
+            for _ in range(3):
+                with tracer.span("fly_session"):
+                    pass
+        durations = tracer.stage_durations()
+        assert set(durations) == {
+            "campaign.run",
+            "campaign.run/fly_session",
+        }
+        children = tracer.roots[0].children
+        total = sum(c.duration_s for c in children)
+        assert durations["campaign.run/fly_session"] == total
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        tracer = Tracer()
+        with tracer.span("outer", phase="fly"):
+            with tracer.span("inner"):
+                pass
+        encoded = tracer.to_list()
+        rebuilt = [Span.from_dict(d) for d in encoded]
+        assert [r.to_dict() for r in rebuilt] == encoded
+        assert rebuilt[0].labels == {"phase": "fly"}
+
+    def test_walk_is_preorder(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        names = [(d, s.name) for d, s in tracer.roots[0].walk()]
+        assert names == [(0, "a"), (1, "b"), (1, "c")]
+
+    def test_render_mentions_every_span(self):
+        tracer = Tracer()
+        with tracer.span("outer", label="x"):
+            with tracer.span("inner"):
+                pass
+        text = tracer.render()
+        assert "outer" in text and "inner" in text and "label=x" in text
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored") as span:
+            assert span is None
+        assert tracer.roots == []
+        assert tracer.stage_durations() == {}
+        assert tracer.to_list() == []
+        assert tracer.render() == ""

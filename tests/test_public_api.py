@@ -17,6 +17,8 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.io",
     "repro.resilience",
+    "repro.engine",
+    "repro.telemetry",
 ]
 
 
