@@ -39,6 +39,9 @@ Subpackages
     The execution layer: execution contexts, serial/parallel executors.
 ``repro.telemetry``
     Observability: metrics, span tracing, run manifests, exporters.
+``repro.resilient``
+    Fault tolerance: checkpoint/resume journal, supervised execution,
+    deterministic chaos injection.
 ``repro.experiments``
     One driver per paper table and figure.
 """
@@ -71,6 +74,12 @@ from .harness import (
     VminCharacterizer,
 )
 from .injection import BeamInjector, DirectInjector, OutcomeKind, OutcomeModel
+from .resilient import (
+    ChaosSpec,
+    ResilientCampaign,
+    SupervisedExecutor,
+    SupervisionPolicy,
+)
 from .rng import RngStreams
 from .telemetry import (
     MetricsRegistry,
@@ -111,6 +120,10 @@ __all__ = [
     "DirectInjector",
     "OutcomeKind",
     "OutcomeModel",
+    "ChaosSpec",
+    "ResilientCampaign",
+    "SupervisedExecutor",
+    "SupervisionPolicy",
     "RngStreams",
     "MetricsRegistry",
     "RunManifest",

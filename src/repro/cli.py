@@ -3,13 +3,25 @@
 Subcommands::
 
     repro-campaign run OUTDIR [--seed N] [--time-scale X] [--workers N]
-                              [--telemetry]
+                              [--telemetry] [--resume] [--strict]
+                              [--timeout S] [--retries N] [--chaos SPEC]
         Fly the Table 2 campaign and persist everything under OUTDIR
-        (campaign.json + per-session dmesg captures + manifest.json).
+        (campaign.json + per-session dmesg captures + manifest.json +
+        the checkpoint journal + failures.json).
         --workers N > 1 flies sessions on separate processes; the
         output is bit-identical to the serial run.  --telemetry records
         metrics and spans into the manifest and prints a summary
         (campaign.json stays byte-identical either way).
+        Every completed work unit is checkpointed to journal.jsonl; an
+        interrupted run (SIGTERM/SIGINT, exit 143/130) resumes with
+        --resume, producing campaign.json byte-identical to an
+        uninterrupted run.  Work units fly under supervision: --timeout
+        bounds each unit, --retries bounds transient-failure retries
+        (deterministic exponential backoff), and persistently failing
+        units are quarantined.  Without --strict a partial campaign
+        still exits 0 (with a failure table); --strict exits 3 when any
+        unit ended quarantined.  --chaos JSON|FILE injects
+        deterministic faults into the harness itself (self-test /CI).
 
     repro-campaign analyze OUTDIR [--artifact table2|fig8|fig11|summary]
         Reload a stored campaign and print an analysis artifact.
@@ -30,17 +42,20 @@ beam time once; `analyze`/`export`/`stats` are free and repeatable.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+from contextlib import contextmanager
 from typing import Dict
 
 from . import __version__
 from .core.analysis import CampaignAnalysis
 from .core.report import Table
-from .engine import ExecutionContext, resolve_executor
-from .errors import ReproError
-from .harness.campaign import Campaign, CampaignResult
+from .engine import ExecutionContext
+from .errors import CampaignInterrupted, ReproError
+from .harness.campaign import CampaignResult
 from .injection.events import OutcomeKind
 from .io.results_dir import ResultsDirectory
+from .resilient import ChaosSpec, ResilientCampaign, SupervisionPolicy
 from .telemetry import (
     RunManifest,
     Telemetry,
@@ -48,30 +63,87 @@ from .telemetry import (
     metrics_to_prometheus,
 )
 
+#: Exit codes beyond the usual 0/1/2: a strict run with quarantined
+#: units, and an interrupted (resumable) run.
+EXIT_STRICT_FAILURES = 3
+EXIT_INTERRUPTED = 143
+
+
+@contextmanager
+def _interruptible():
+    """Turn SIGTERM/SIGINT into :class:`CampaignInterrupted`.
+
+    The journal is fsynced after every completed unit, so raising out
+    of the run loop (instead of dying mid-write) just stops cleanly at
+    the last checkpoint; ``--resume`` picks the run back up.
+    """
+
+    def _handler(signum, frame):
+        raise CampaignInterrupted(f"received signal {signum}")
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except (ValueError, OSError):  # non-main thread / exotic platform
+            pass
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+
 
 def _cmd_run(args: argparse.Namespace) -> int:
     telemetry = Telemetry() if args.telemetry else None
-    executor = resolve_executor(args.workers)
     context = ExecutionContext(
         seed=args.seed, time_scale=args.time_scale, telemetry=telemetry
     )
-    runner = Campaign(context=context, executor=executor)
-    if telemetry is not None:
-        with telemetry.span("cli.fly"):
-            campaign = runner.run()
-    else:
-        campaign = runner.run()
+    policy = SupervisionPolicy(
+        timeout_s=args.timeout, max_retries=args.retries
+    )
+    chaos = ChaosSpec.from_json(args.chaos) if args.chaos else None
+    runner = ResilientCampaign(
+        context=context,
+        workers=args.workers,
+        policy=policy,
+        chaos=chaos,
+    )
     results = ResultsDirectory(args.outdir)
+    if args.resume and not results.has_journal():
+        print(
+            f"error: no journal under {args.outdir!r} to resume from "
+            f"(run without --resume first)",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        with _interruptible():
+            if telemetry is not None:
+                with telemetry.span("cli.fly"):
+                    report = runner.run(results, resume=args.resume)
+            else:
+                report = runner.run(results, resume=args.resume)
+    except CampaignInterrupted as exc:
+        print(
+            f"interrupted ({exc}); completed units are journaled under "
+            f"{args.outdir} -- resume with:\n"
+            f"  repro-campaign run {args.outdir} --resume "
+            f"--seed {args.seed} --time-scale {args.time_scale}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     if telemetry is not None:
         with telemetry.span("cli.persist"):
-            written = results.export_all(campaign)
+            written = report.persist(results)
     else:
-        written = results.export_all(campaign)
+        written = report.persist(results)
+    executor = runner.executor
     manifest = RunManifest(
         seed=args.seed,
         time_scale=args.time_scale,
         executor=executor.name,
-        workers=getattr(executor, "workers", 1),
+        workers=max(getattr(executor, "workers", 1), 1),
         version=__version__,
         config_hash=runner.config_hash(),
         stages=telemetry.tracer.stage_durations() if telemetry else {},
@@ -80,15 +152,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         command=_render_command(args),
     )
     written.append(results.save_manifest(manifest))
+    resumed = (
+        f", resumed {report.resumed_units} unit(s)"
+        if report.resumed_units
+        else ""
+    )
     print(
         f"campaign flown (seed={args.seed}, "
-        f"time_scale={args.time_scale}, executor={executor.name})"
+        f"time_scale={args.time_scale}, executor={executor.name}{resumed})"
     )
     for path in written:
         print(f"  wrote {path}")
     if telemetry is not None:
         print()
         print(console_summary(manifest=manifest))
+    if not report.ok:
+        print()
+        print(report.failure_table().render())
+        failed = ", ".join(r.key for r in report.failed_units)
+        print(
+            f"warning: {len(report.failed_units)} work unit(s) "
+            f"quarantined ({failed}); campaign.json holds the "
+            f"surviving sessions only",
+            file=sys.stderr,
+        )
+        if args.strict:
+            return EXIT_STRICT_FAILURES
     return 0
 
 
@@ -99,6 +188,14 @@ def _render_command(args: argparse.Namespace) -> str:
     )
     if args.telemetry:
         command += " --telemetry"
+    if args.resume:
+        command += " --resume"
+    if args.strict:
+        command += " --strict"
+    if args.timeout is not None:
+        command += f" --timeout {args.timeout}"
+    if args.retries != 2:
+        command += f" --retries {args.retries}"
     return command
 
 
@@ -249,6 +346,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry",
         action="store_true",
         help="record metrics/spans into manifest.json and print a summary",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted run from OUTDIR's checkpoint journal",
+    )
+    run.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 3 (with a failure table) if any work unit was "
+        "quarantined",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-unit response timeout in seconds (default: none)",
+    )
+    run.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per unit for transient failures (default: 2)",
+    )
+    run.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults into the harness: inline JSON "
+        "or a path to a JSON chaos spec (self-test/CI only)",
     )
     run.set_defaults(func=_cmd_run)
 

@@ -60,5 +60,25 @@ class TelemetryError(ReproError):
     """A telemetry instrument, manifest, or merge was used incorrectly."""
 
 
+class ReproIOError(ReproError):
+    """An on-disk artifact is missing, torn, or corrupt beyond salvage."""
+
+
+class SupervisionError(ReproError):
+    """The resilient execution layer was configured or driven incorrectly."""
+
+
+class ChaosError(ReproError):
+    """A chaos specification is malformed (harness self-test layer)."""
+
+
+class CampaignInterrupted(ReproError):
+    """A campaign run was interrupted (SIGTERM or injected crash).
+
+    The journal written so far is intact; ``repro-campaign run --resume``
+    picks the campaign up from the last completed work unit.
+    """
+
+
 class LogbookError(ReproError):
     """A logbook entry used a kind outside the documented closed set."""

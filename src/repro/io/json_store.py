@@ -26,11 +26,11 @@ produces identical numbers on the reloaded object (tested).
 
 from __future__ import annotations
 
-import json
 from typing import Dict, List
 
 from ..beam.fluence import FluenceAccount
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ReproIOError
+from .atomic import atomic_write_json, read_json_or_default
 from ..harness.campaign import CampaignResult
 from ..harness.controller import RunOutcome
 from ..harness.session import SessionPlan, SessionResult
@@ -235,12 +235,17 @@ def campaign_from_dict(data: dict) -> CampaignResult:
 
 
 def save_campaign(campaign: CampaignResult, path: str) -> None:
-    """Write a campaign to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(campaign_to_dict(campaign), handle)
+    """Write a campaign to a JSON file (atomically: temp + rename).
+
+    A kill at any point leaves either the previous campaign.json or the
+    complete new one on disk, never truncated JSON.
+    """
+    atomic_write_json(path, campaign_to_dict(campaign))
 
 
 def load_campaign(path: str) -> CampaignResult:
     """Read a campaign back from a JSON file."""
-    with open(path) as handle:
-        return campaign_from_dict(json.load(handle))
+    data = read_json_or_default(path)
+    if data is None:
+        raise ReproIOError(f"no campaign stored at {path!r}")
+    return campaign_from_dict(data)

@@ -11,10 +11,11 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional
 
-from ..core.report import Table, write_csv
+from ..core.report import Table
 from ..errors import AnalysisError
 from ..harness.campaign import CampaignResult
 from ..telemetry import RunManifest
+from .atomic import atomic_write_json, atomic_write_text
 from .json_store import load_campaign, save_campaign
 
 
@@ -29,6 +30,8 @@ class ResultsDirectory:
 
     CAMPAIGN_FILE = "campaign.json"
     MANIFEST_FILE = "manifest.json"
+    JOURNAL_FILE = "journal.jsonl"
+    FAILURES_FILE = "failures.json"
 
     def __init__(self, root: str) -> None:
         self.root = root
@@ -39,6 +42,22 @@ class ResultsDirectory:
     def _ensure_root(self) -> None:
         os.makedirs(self.root, exist_ok=True)
 
+    # -- resilient-run artifacts -----------------------------------------------
+
+    def journal_path(self, ensure_root: bool = False) -> str:
+        """Path of the checkpoint journal (see :mod:`repro.resilient`)."""
+        if ensure_root:
+            self._ensure_root()
+        return self._path(self.JOURNAL_FILE)
+
+    def has_journal(self) -> bool:
+        """True if a checkpoint journal exists (a run can be resumed)."""
+        return os.path.exists(self._path(self.JOURNAL_FILE))
+
+    def failures_path(self) -> str:
+        """Path of the per-unit failure report of the last run."""
+        return self._path(self.FAILURES_FILE)
+
     # -- campaign data ---------------------------------------------------------
 
     def save_campaign(self, campaign: CampaignResult) -> str:
@@ -47,6 +66,16 @@ class ResultsDirectory:
         path = self._path(self.CAMPAIGN_FILE)
         save_campaign(campaign, path)
         return path
+
+    def save_campaign_dict(self, data: dict) -> str:
+        """Persist an already-encoded campaign dict; returns the JSON path.
+
+        The resilient runner uses this to write ``campaign.json`` from
+        the journal's payload bytes, avoiding a decode/re-encode round
+        trip that could perturb floating-point text.
+        """
+        self._ensure_root()
+        return atomic_write_json(self._path(self.CAMPAIGN_FILE), data)
 
     def load_campaign(self) -> CampaignResult:
         """Reload the raw campaign."""
@@ -64,10 +93,9 @@ class ResultsDirectory:
     def save_manifest(self, manifest: RunManifest) -> str:
         """Persist the run manifest; returns the JSON path."""
         self._ensure_root()
-        path = self._path(self.MANIFEST_FILE)
-        with open(path, "w") as handle:
-            handle.write(manifest.to_json())
-        return path
+        return atomic_write_text(
+            self._path(self.MANIFEST_FILE), manifest.to_json()
+        )
 
     def load_manifest(self) -> RunManifest:
         """Reload the run manifest."""
@@ -89,9 +117,7 @@ class ResultsDirectory:
     def save_table(self, name: str, table: Table) -> str:
         """Persist one regenerated table as CSV; returns the path."""
         self._ensure_root()
-        path = self._path(f"{name}.csv")
-        write_csv(table, path)
-        return path
+        return atomic_write_text(self._path(f"{name}.csv"), table.to_csv())
 
     def list_tables(self) -> List[str]:
         """Names of the stored CSV artifacts."""
@@ -108,10 +134,9 @@ class ResultsDirectory:
         self._ensure_root()
         paths = {}
         for label, session in campaign.sessions.items():
-            path = self._path(f"{label}.dmesg")
-            with open(path, "w") as handle:
-                handle.write(session.edac.to_dmesg())
-            paths[label] = path
+            paths[label] = atomic_write_text(
+                self._path(f"{label}.dmesg"), session.edac.to_dmesg()
+            )
         return paths
 
     def export_all(

@@ -1,0 +1,230 @@
+"""The checkpoint journal: append-only JSONL of completed work units.
+
+One line per record, written in completion (== submission) order:
+
+.. code-block:: text
+
+    {"kind": "header", "schema": 1, "config_hash": "...", "seed": ...,
+     "time_scale": ..., "units": ["session1", ...]}
+    {"kind": "unit", "key": "session1", "attempts": 1, "sram_bits": ...,
+     "metrics": {...} | null, "session": {...}}
+
+Design rules, in decreasing order of importance:
+
+* **Append-only.**  A unit line is written exactly once, after the unit
+  completed; nothing is ever rewritten in place, so a crash can only
+  tear the *last* line.
+* **Fsync per unit** (default policy ``"unit"``): once ``append_unit``
+  returns, that unit survives power loss, not just process death.
+* **Torn tails are salvage, torn middles are corruption.**  On load, a
+  final line that does not parse is dropped (the crash interrupted that
+  append); a non-final line that does not parse means someone edited
+  the file and :class:`~repro.errors.ReproIOError` is raised.
+* **Resume is config-checked.**  The header pins the campaign's stable
+  config hash; resuming under a different seed/time-scale/plan set
+  raises instead of silently merging incompatible results.
+
+The payload of a unit line is the *encoded* session dict (the exact
+object that later lands in ``campaign.json``), so a resumed run can
+reproduce the uninterrupted run's ``campaign.json`` byte-for-byte
+without a decode/re-encode round trip through floating point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ReproIOError, SupervisionError
+
+JOURNAL_SCHEMA = 1
+
+#: Fsync policies: "unit" fsyncs after every appended line (crash-safe
+#: to power loss), "never" only flushes to the OS (crash-safe to
+#: process death; used by speed-sensitive tests).
+FSYNC_POLICIES = ("unit", "never")
+
+
+@dataclass(frozen=True)
+class JournalHeader:
+    """First line of every journal: what campaign this checkpoints."""
+
+    config_hash: str
+    seed: int
+    time_scale: float
+    units: Tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "header",
+            "schema": JOURNAL_SCHEMA,
+            "config_hash": self.config_hash,
+            "seed": self.seed,
+            "time_scale": self.time_scale,
+            "units": list(self.units),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JournalHeader":
+        if data.get("schema") != JOURNAL_SCHEMA:
+            raise ReproIOError(
+                f"unsupported journal schema {data.get('schema')!r} "
+                f"(expected {JOURNAL_SCHEMA})"
+            )
+        return cls(
+            config_hash=data["config_hash"],
+            seed=int(data["seed"]),
+            time_scale=float(data["time_scale"]),
+            units=tuple(data["units"]),
+        )
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One completed work unit, as checkpointed."""
+
+    key: str
+    attempts: int
+    sram_bits: int
+    session: dict
+    metrics: Optional[dict] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "unit",
+            "key": self.key,
+            "attempts": self.attempts,
+            "sram_bits": self.sram_bits,
+            "metrics": self.metrics,
+            "session": self.session,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JournalEntry":
+        return cls(
+            key=data["key"],
+            attempts=int(data["attempts"]),
+            sram_bits=int(data["sram_bits"]),
+            session=data["session"],
+            metrics=data.get("metrics"),
+        )
+
+
+class CampaignJournal:
+    """Writer/reader of one results directory's checkpoint journal.
+
+    Use :meth:`create` for a fresh run (truncates any stale journal) or
+    :meth:`load` + :meth:`reopen` for a resumed one.
+    """
+
+    def __init__(self, path: str, fsync: str = "unit") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise SupervisionError(
+                f"unknown fsync policy {fsync!r}; choose from {FSYNC_POLICIES}"
+            )
+        self.path = path
+        self.fsync = fsync
+        self._handle = None
+
+    # -- writing -----------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: str, header: JournalHeader, fsync: str = "unit"
+    ) -> "CampaignJournal":
+        """Start a fresh journal (truncating any previous one)."""
+        journal = cls(path, fsync=fsync)
+        journal._handle = open(path, "w")
+        journal._write_line(header.to_dict())
+        return journal
+
+    def reopen(self) -> "CampaignJournal":
+        """Open an existing journal for appending (resume path)."""
+        if self._handle is not None:
+            raise SupervisionError("journal already open")
+        self._handle = open(self.path, "a")
+        return self
+
+    def append_unit(self, entry: JournalEntry) -> None:
+        """Checkpoint one completed unit (flush + fsync per policy)."""
+        if self._handle is None:
+            raise SupervisionError("journal is not open for writing")
+        self._write_line(entry.to_dict())
+
+    def _write_line(self, record: dict) -> None:
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        if self.fsync == "unit":
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------------
+
+    @classmethod
+    def load(
+        cls, path: str
+    ) -> Tuple[JournalHeader, Dict[str, JournalEntry], int]:
+        """Read a journal back: ``(header, entries by key, salvaged lines)``.
+
+        A torn final line (the signature of a crash mid-append) is
+        dropped and counted; torn lines anywhere else raise
+        :class:`~repro.errors.ReproIOError`.
+        """
+        try:
+            with open(path) as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            raise ReproIOError(
+                f"no journal at {path!r}; nothing to resume "
+                f"(run without --resume first)"
+            ) from None
+        except OSError as exc:
+            raise ReproIOError(f"cannot read journal {path!r}: {exc}") from exc
+
+        records: List[dict] = []
+        salvaged = 0
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if index == len(lines) - 1:
+                    # Crash tore the tail append; the units before it
+                    # are intact, the torn one simply reruns.
+                    salvaged += 1
+                    continue
+                raise ReproIOError(
+                    f"journal {path!r} is corrupt at line {index + 1} "
+                    f"(not a torn tail -- refusing to salvage): {exc}"
+                ) from exc
+        if not records or records[0].get("kind") != "header":
+            raise ReproIOError(
+                f"journal {path!r} has no header line; it is not a "
+                f"campaign journal (or was torn at creation) -- start a "
+                f"fresh run"
+            )
+        header = JournalHeader.from_dict(records[0])
+        entries: Dict[str, JournalEntry] = {}
+        for record in records[1:]:
+            if record.get("kind") != "unit":
+                raise ReproIOError(
+                    f"journal {path!r}: unexpected record kind "
+                    f"{record.get('kind')!r}"
+                )
+            entry = JournalEntry.from_dict(record)
+            entries[entry.key] = entry
+        return header, entries, salvaged

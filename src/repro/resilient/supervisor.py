@@ -1,0 +1,531 @@
+"""SupervisedExecutor: per-unit timeouts, retries, quarantine, degradation.
+
+Wraps the engine's execution model with the supervision loop a real
+beam-campaign Control-PC runs: every work unit gets a response timeout
+and a bounded, deterministically backed-off retry budget; failures are
+triaged with the paper's SDC/AppCrash/SysCrash taxonomy
+(:func:`~repro.resilient.policy.classify_failure`); units that keep
+failing are *quarantined* (the batch continues without them, exactly
+like a benchmark pulled from the rotation); and when worker processes
+keep dying the executor degrades from parallel to serial rather than
+aborting the campaign.
+
+Determinism contract: supervision never touches an RNG stream -- units
+derive their own streams from ``(seed, key)``, so a unit that succeeds
+on attempt 3 returns the byte-identical result it would have returned
+on attempt 1, and a campaign that survives injected faults produces
+byte-identical artifacts to one that never saw them.
+
+Results are delivered in submission order.  A quarantined unit yields a
+:class:`UnitFailure` sentinel in the result list (callers opt into
+strictness; the default keeps the rest of the campaign's data).  The
+optional ``on_result`` callback fires in submission order as each
+unit's fate is settled -- the checkpoint journal hangs off it.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import queue
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..engine.executor import Executor, WorkUnit
+from ..errors import CampaignInterrupted, SupervisionError
+from ..telemetry import NULL_TELEMETRY, Telemetry
+from .chaos import ChaosSpec, chaos_call
+from .policy import (
+    FailureClass,
+    SupervisionPolicy,
+    UnitTimeoutError,
+    classify_failure,
+)
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """Sentinel result for a quarantined work unit."""
+
+    key: str
+    failure_class: FailureClass
+    attempts: int
+    error: str
+
+    def __bool__(self) -> bool:
+        return False
+
+
+@dataclass
+class UnitReport:
+    """Supervision outcome of one work unit (ok or quarantined)."""
+
+    key: str
+    status: str  # "ok" | "quarantined"
+    attempts: int
+    retries: int
+    timeouts: int
+    failure_class: Optional[FailureClass] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "status": self.status,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failure_class": (
+                self.failure_class.value if self.failure_class else None
+            ),
+            "error": self.error,
+        }
+
+
+@dataclass
+class _UnitState:
+    """Book-keeping for one in-flight unit (parallel path)."""
+
+    unit: WorkUnit
+    attempt: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    future: Optional[concurrent.futures.Future] = None
+    done: bool = False
+
+
+def _run_in_thread(unit: WorkUnit, timeout_s: float) -> Any:
+    """Run a unit with a wall-clock bound (serial path).
+
+    The unit runs on a daemon thread; on timeout the thread is
+    abandoned (it holds no locks and its result is discarded) and
+    :class:`UnitTimeoutError` is raised, mirroring the Control-PC
+    declaring a run dead after the response timeout.
+    """
+    channel: "queue.Queue[tuple[bool, Any]]" = queue.Queue(maxsize=1)
+
+    def _target() -> None:
+        try:
+            channel.put((True, unit.run()))
+        except BaseException as exc:  # ship the failure to the supervisor
+            channel.put((False, exc))
+
+    thread = threading.Thread(
+        target=_target, name=f"repro-unit-{unit.key}", daemon=True
+    )
+    thread.start()
+    try:
+        ok, payload = channel.get(timeout=timeout_s)
+    except queue.Empty:
+        raise UnitTimeoutError(
+            f"unit {unit.key!r} exceeded the {timeout_s:.3f}s response "
+            f"timeout"
+        ) from None
+    if ok:
+        return payload
+    raise payload
+
+
+class SupervisedExecutor(Executor):
+    """Fault-tolerant executor: the resilient layer's one run loop.
+
+    Parameters
+    ----------
+    policy:
+        Timeout/retry/backoff/degradation knobs
+        (:class:`~repro.resilient.policy.SupervisionPolicy`).
+    workers:
+        Worker processes; 0/1 = serial in-process execution.
+    chaos:
+        Optional :class:`~repro.resilient.chaos.ChaosSpec` injecting
+        deterministic faults into unit attempts (harness self-test).
+    sleep:
+        Backoff sleeper, injectable so tests assert the deterministic
+        schedule without waiting it out.
+    """
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        policy: Optional[SupervisionPolicy] = None,
+        workers: int = 1,
+        chaos: Optional[ChaosSpec] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if workers < 0:
+            raise SupervisionError("workers must be nonnegative")
+        self.policy = policy or SupervisionPolicy()
+        self.workers = int(workers)
+        self.chaos = chaos
+        self._sleep = sleep
+        #: Per-map reports, in submission order (inspected by callers).
+        self.last_reports: List[UnitReport] = []
+
+    # -- public API --------------------------------------------------------------
+
+    def map(
+        self,
+        units: Sequence[WorkUnit],
+        logbook=None,
+        telemetry: Optional[Telemetry] = None,
+        on_result: Optional[Callable[[int, UnitReport, Any], None]] = None,
+    ) -> List[Any]:
+        """Supervise a batch; results (or :class:`UnitFailure`) in order.
+
+        ``on_result(index, report, result)`` fires in submission order
+        as each unit settles -- for checkpoint journaling.
+        """
+        units = list(units)
+        tele = telemetry if telemetry is not None else NULL_TELEMETRY
+        started = time.monotonic()
+        with tele.span(
+            "supervisor.map",
+            executor=self.name,
+            units=len(units),
+            workers=self.workers,
+        ):
+            if self.workers > 1 and len(units) > 1:
+                results, reports = self._map_parallel(
+                    units, tele, logbook, started, on_result
+                )
+            else:
+                results, reports = self._map_serial(
+                    units, tele, logbook, started, on_result
+                )
+        self.last_reports = reports
+        tele.count("engine.units", sum(1 for r in reports if r.ok))
+        return results
+
+    # -- shared supervision machinery --------------------------------------------
+
+    def _wrap(self, unit: WorkUnit, attempt: int) -> WorkUnit:
+        """The unit as actually executed for one attempt (chaos-aware)."""
+        if self.chaos is None:
+            return unit
+        fault = self.chaos.fault_for(unit.key, attempt)
+        return WorkUnit(
+            key=unit.key,
+            fn=chaos_call,
+            args=(
+                fault,
+                self.chaos.hang_s,
+                unit.key,
+                attempt,
+                os.getpid(),
+                unit.fn,
+                unit.args,
+                unit.kwargs,
+            ),
+        )
+
+    def _on_failure(
+        self,
+        state: _UnitState,
+        exc: BaseException,
+        tele: Telemetry,
+        logbook,
+        started: float,
+    ) -> Optional[UnitReport]:
+        """Triage one failed attempt.
+
+        Returns the final (quarantined) report when the unit is out of
+        budget, or ``None`` when the supervisor should retry.
+        """
+        failure_class = classify_failure(exc)
+        attempts = state.attempt + 1
+        tele.count("resilient.failures", unit_class=failure_class.value)
+        if isinstance(exc, UnitTimeoutError):
+            state.timeouts += 1
+            tele.count("resilient.timeouts")
+        retry = (
+            failure_class.transient
+            and state.retries < self.policy.max_retries
+        )
+        if not retry:
+            tele.count("resilient.quarantined", unit_class=failure_class.value)
+            self._log(
+                logbook, started, "engine",
+                f"quarantine {state.unit.key} after {attempts} attempt(s): "
+                f"{failure_class.value} ({exc.__class__.__name__})",
+            )
+            return UnitReport(
+                key=state.unit.key,
+                status="quarantined",
+                attempts=attempts,
+                retries=state.retries,
+                timeouts=state.timeouts,
+                failure_class=failure_class,
+                error=f"{exc.__class__.__name__}: {exc}",
+            )
+        state.retries += 1
+        state.attempt += 1
+        tele.count("resilient.retries", unit_class=failure_class.value)
+        delay = self.policy.backoff_delay(state.retries)
+        self._log(
+            logbook, started, "engine",
+            f"retry {state.unit.key} (attempt {state.attempt + 1}, "
+            f"{failure_class.value}, backoff {delay:.3f}s)",
+        )
+        self._sleep(delay)
+        return None
+
+    # -- serial path -------------------------------------------------------------
+
+    def _attempt_serial(self, unit: WorkUnit, attempt: int) -> Any:
+        wrapped = self._wrap(unit, attempt)
+        if self.policy.timeout_s is None:
+            return wrapped.run()
+        return _run_in_thread(wrapped, self.policy.timeout_s)
+
+    def _map_serial(
+        self,
+        units: Sequence[WorkUnit],
+        tele: Telemetry,
+        logbook,
+        started: float,
+        on_result,
+    ):
+        results: List[Any] = []
+        reports: List[UnitReport] = []
+        for index, unit in enumerate(units):
+            state = _UnitState(unit=unit)
+            self._log(
+                logbook, started, "engine", f"run {unit.key} (supervised)"
+            )
+            while True:
+                attempt_started = time.perf_counter()
+                try:
+                    result = self._attempt_serial(unit, state.attempt)
+                except CampaignInterrupted:
+                    raise
+                except Exception as exc:
+                    report = self._on_failure(
+                        state, exc, tele, logbook, started
+                    )
+                    if report is None:
+                        continue
+                    result = UnitFailure(
+                        key=unit.key,
+                        failure_class=report.failure_class,
+                        attempts=report.attempts,
+                        error=report.error,
+                    )
+                else:
+                    tele.observe(
+                        "engine.unit_seconds",
+                        time.perf_counter() - attempt_started,
+                    )
+                    report = UnitReport(
+                        key=unit.key,
+                        status="ok",
+                        attempts=state.attempt + 1,
+                        retries=state.retries,
+                        timeouts=state.timeouts,
+                    )
+                    self._log(logbook, started, "engine", f"done {unit.key}")
+                break
+            results.append(result)
+            reports.append(report)
+            if on_result is not None:
+                on_result(index, report, result)
+        return results, reports
+
+    # -- parallel path -----------------------------------------------------------
+
+    def _map_parallel(
+        self,
+        units: Sequence[WorkUnit],
+        tele: Telemetry,
+        logbook,
+        started: float,
+        on_result,
+    ):
+        states = [_UnitState(unit=unit) for unit in units]
+        results: List[Any] = [None] * len(units)
+        reports: List[UnitReport] = [None] * len(units)  # type: ignore[list-item]
+        breakages = 0
+        degraded = False
+        pool: Optional[ProcessPoolExecutor] = None
+
+        def _submit(state: _UnitState) -> None:
+            wrapped = self._wrap(state.unit, state.attempt)
+            state.future = pool.submit(
+                wrapped.fn, *wrapped.args, **wrapped.kwargs
+            )
+
+        def _resubmit_pending() -> None:
+            # After a pool breakage every uncollected future is void;
+            # units are pure functions of their arguments, so rerunning
+            # them at their current attempt number is safe and cannot
+            # perturb any RNG stream.
+            for state in states:
+                if not state.done:
+                    _submit(state)
+
+        try:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(units))
+                )
+                for state in states:
+                    self._log(
+                        logbook, started, "engine",
+                        f"dispatch {state.unit.key} "
+                        f"(supervised x{self.workers})",
+                    )
+                    _submit(state)
+            except (OSError, ValueError, RuntimeError, ImportError) as exc:
+                # No process support at all: degrade immediately.
+                self._log(
+                    logbook, started, "engine",
+                    f"process pool unavailable "
+                    f"({exc.__class__.__name__}); degrading to serial",
+                )
+                tele.count("resilient.degraded")
+                return self._map_serial(
+                    units, tele, logbook, started, on_result
+                )
+
+            for index, state in enumerate(states):
+                while not state.done:
+                    if degraded:
+                        serial_results, serial_reports = self._map_serial(
+                            [state.unit], tele, logbook, started, None
+                        )
+                        results[index] = serial_results[0]
+                        reports[index] = serial_reports[0]
+                        state.done = True
+                        break
+                    dispatch_started = time.perf_counter()
+                    try:
+                        result = state.future.result(
+                            timeout=self.policy.timeout_s
+                        )
+                    except concurrent.futures.TimeoutError:
+                        # The worker may be hung; the future cannot be
+                        # cancelled once running, so retire the whole
+                        # pool (a Control-PC power cycle) and count it
+                        # as a breakage.
+                        breakages += 1
+                        tele.count("resilient.pool_breakages")
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        exceeded = breakages > self.policy.max_pool_breakages
+                        if exceeded:
+                            degraded = True
+                            tele.count("resilient.degraded")
+                            self._log(
+                                logbook, started, "engine",
+                                "workers keep dying; degrading to serial",
+                            )
+                        else:
+                            pool = ProcessPoolExecutor(
+                                max_workers=min(self.workers, len(units))
+                            )
+                        timeout_exc = UnitTimeoutError(
+                            f"unit {state.unit.key!r} exceeded the "
+                            f"{self.policy.timeout_s:.3f}s response timeout"
+                        )
+                        report = self._on_failure(
+                            state, timeout_exc, tele, logbook, started
+                        )
+                        if report is not None:
+                            self._finish_failed(state, report, results,
+                                                reports, index)
+                        if not degraded:
+                            _resubmit_pending()
+                        continue
+                    except BrokenProcessPool as exc:
+                        # The pool died; the unit whose future we were
+                        # waiting on is not necessarily the culprit, so
+                        # breakages are budgeted separately
+                        # (max_pool_breakages) and never consume a
+                        # unit's retry budget.
+                        breakages += 1
+                        tele.count("resilient.pool_breakages")
+                        if breakages > self.policy.max_pool_breakages:
+                            degraded = True
+                            tele.count("resilient.degraded")
+                            self._log(
+                                logbook, started, "engine",
+                                "workers keep dying; degrading to serial",
+                            )
+                            continue
+                        self._log(
+                            logbook, started, "engine",
+                            f"worker died ({exc.__class__.__name__}); "
+                            f"restarting pool "
+                            f"(breakage {breakages}/"
+                            f"{self.policy.max_pool_breakages})",
+                        )
+                        pool = ProcessPoolExecutor(
+                            max_workers=min(self.workers, len(units))
+                        )
+                        _resubmit_pending()
+                        continue
+                    except CampaignInterrupted:
+                        raise
+                    except Exception as exc:
+                        report = self._on_failure(
+                            state, exc, tele, logbook, started
+                        )
+                        if report is None:
+                            _submit(state)
+                        else:
+                            self._finish_failed(state, report, results,
+                                                reports, index)
+                        continue
+                    # Success.
+                    tele.observe(
+                        "engine.unit_seconds",
+                        time.perf_counter() - dispatch_started,
+                    )
+                    results[index] = result
+                    reports[index] = UnitReport(
+                        key=state.unit.key,
+                        status="ok",
+                        attempts=state.attempt + 1,
+                        retries=state.retries,
+                        timeouts=state.timeouts,
+                    )
+                    state.done = True
+                    self._log(
+                        logbook, started, "engine", f"done {state.unit.key}"
+                    )
+                if on_result is not None:
+                    on_result(index, reports[index], results[index])
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return results, reports
+
+    @staticmethod
+    def _finish_failed(
+        state: _UnitState,
+        report: UnitReport,
+        results: List[Any],
+        reports: List[UnitReport],
+        index: int,
+    ) -> None:
+        results[index] = UnitFailure(
+            key=state.unit.key,
+            failure_class=report.failure_class,
+            attempts=report.attempts,
+            error=report.error,
+        )
+        reports[index] = report
+        state.done = True
+
+    def __repr__(self) -> str:
+        return (
+            f"SupervisedExecutor(workers={self.workers}, "
+            f"policy={self.policy!r})"
+        )

@@ -1,0 +1,61 @@
+"""Shared fixtures for the chaos suite.
+
+Everything here runs heavily time-scaled campaigns (0.002 of nominal
+beam time) so that even the scenarios that fly a campaign five times
+stay in the seconds range.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import ExecutionContext
+from repro.io import ResultsDirectory
+from repro.resilient import ResilientCampaign
+from repro.telemetry import Telemetry
+
+SEED = 77
+TIME_SCALE = 0.002
+
+
+def make_runner(tmpdir=None, telemetry=None, **kwargs):
+    """A ResilientCampaign at chaos-test scale."""
+    context = ExecutionContext(
+        seed=SEED, time_scale=TIME_SCALE, telemetry=telemetry
+    )
+    return ResilientCampaign(context=context, **kwargs)
+
+
+def counters_without_noise(telemetry: Telemetry) -> dict:
+    """Counter values minus the supervision/engine bookkeeping.
+
+    The determinism tests compare the *campaign-derived* counts
+    (session runs, failures, injector activity); retries/timeouts/
+    resumes are intentionally visible in the full counter set and are
+    asserted separately.
+    """
+    return {
+        key: value
+        for key, value in telemetry.metrics.counter_values().items()
+        if not key.startswith(("resilient.", "engine."))
+    }
+
+
+@pytest.fixture(scope="session")
+def reference_run(tmp_path_factory):
+    """One clean, uninterrupted reference run: its bytes and counters."""
+    outdir = str(tmp_path_factory.mktemp("chaos-ref") / "run")
+    results = ResultsDirectory(outdir)
+    telemetry = Telemetry()
+    report = make_runner(telemetry=telemetry).run(results)
+    report.persist(results)
+    with open(os.path.join(outdir, "campaign.json"), "rb") as handle:
+        campaign_bytes = handle.read()
+    return {
+        "outdir": outdir,
+        "report": report,
+        "campaign_bytes": campaign_bytes,
+        "campaign_dict": json.loads(campaign_bytes),
+        "counters": counters_without_noise(telemetry),
+    }

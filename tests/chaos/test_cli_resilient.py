@@ -1,0 +1,171 @@
+"""The resilient CLI surface: --resume, --strict, --chaos, exit codes."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, EXIT_STRICT_FAILURES, main
+
+SCALE = ["--seed", "11", "--time-scale", "0.002"]
+
+
+def read_bytes(outdir, name="campaign.json"):
+    with open(os.path.join(outdir, name), "rb") as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def clean_run(tmp_path_factory):
+    outdir = str(tmp_path_factory.mktemp("cli-resilient") / "clean")
+    assert main(["run", outdir] + SCALE) == 0
+    return outdir
+
+
+class TestJournalArtifacts:
+    def test_every_run_is_journaled(self, clean_run):
+        path = os.path.join(clean_run, "journal.jsonl")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert lines[0]["kind"] == "header"
+        assert [r["key"] for r in lines[1:]] == [
+            "session1", "session2", "session3", "session4",
+        ]
+
+    def test_failures_json_written(self, clean_run):
+        data = json.loads(read_bytes(clean_run, "failures.json"))
+        assert data["ok"] is True
+        assert [u["status"] for u in data["units"]] == ["ok"] * 4
+
+
+class TestCrashAndResume:
+    def test_crash_resume_byte_identical(self, tmp_path, clean_run, capsys):
+        outdir = str(tmp_path / "crashed")
+        chaos = json.dumps({"crash_after_units": 2})
+        assert (
+            main(["run", outdir, "--chaos", chaos] + SCALE)
+            == EXIT_INTERRUPTED
+        )
+        err = capsys.readouterr().err
+        assert "--resume" in err  # the hint tells the operator what to do
+        assert not os.path.exists(os.path.join(outdir, "campaign.json"))
+        assert os.path.exists(os.path.join(outdir, "journal.jsonl"))
+
+        assert main(["run", outdir, "--resume"] + SCALE) == 0
+        out = capsys.readouterr().out
+        assert "resumed 2 unit(s)" in out
+        assert read_bytes(outdir) == read_bytes(clean_run)
+
+    def test_resume_without_journal_errors(self, tmp_path, capsys):
+        outdir = str(tmp_path / "nothing")
+        assert main(["run", outdir, "--resume"] + SCALE) == 1
+        assert "no journal" in capsys.readouterr().err
+
+    def test_resume_with_other_seed_refuses(self, tmp_path, clean_run, capsys):
+        outdir = str(tmp_path / "mismatch")
+        chaos = json.dumps({"crash_after_units": 1})
+        assert (
+            main(["run", outdir, "--chaos", chaos] + SCALE)
+            == EXIT_INTERRUPTED
+        )
+        capsys.readouterr()
+        code = main(
+            ["run", outdir, "--resume", "--seed", "12",
+             "--time-scale", "0.002"]
+        )
+        assert code == 1
+        assert "different campaign" in capsys.readouterr().err
+
+
+class TestChaosSurvival:
+    def test_retried_faults_leave_artifacts_identical(
+        self, tmp_path, clean_run, capsys
+    ):
+        outdir = str(tmp_path / "faulted")
+        chaos = json.dumps({"units": {"session2": ["raise", "ok"]}})
+        assert main(["run", outdir, "--chaos", chaos] + SCALE) == 0
+        assert read_bytes(outdir) == read_bytes(clean_run)
+
+    def test_chaos_file_spec(self, tmp_path, clean_run):
+        spec = tmp_path / "chaos.json"
+        spec.write_text(
+            json.dumps({"units": {"session1": ["raise", "ok"]}})
+        )
+        outdir = str(tmp_path / "from-file")
+        assert main(["run", outdir, "--chaos", str(spec)] + SCALE) == 0
+        assert read_bytes(outdir) == read_bytes(clean_run)
+
+    def test_invalid_chaos_spec_is_a_clean_error(self, tmp_path, capsys):
+        outdir = str(tmp_path / "bad-spec")
+        code = main(
+            ["run", outdir, "--chaos", '{"units": {"s": ["explode"]}}']
+            + SCALE
+        )
+        assert code == 1
+        assert "unknown fault" in capsys.readouterr().err
+
+
+class TestStrict:
+    def test_quarantine_without_strict_exits_zero(self, tmp_path, capsys):
+        outdir = str(tmp_path / "lenient")
+        chaos = json.dumps({"units": {"session3": ["fatal"]}})
+        assert main(["run", outdir, "--chaos", chaos] + SCALE) == 0
+        captured = capsys.readouterr()
+        assert "Work-unit supervision report" in captured.out
+        assert "quarantined" in captured.err
+
+    def test_quarantine_with_strict_exits_three(self, tmp_path, capsys):
+        outdir = str(tmp_path / "strict")
+        chaos = json.dumps({"units": {"session3": ["fatal"]}})
+        code = main(
+            ["run", outdir, "--chaos", chaos, "--strict"] + SCALE
+        )
+        assert code == EXIT_STRICT_FAILURES
+        captured = capsys.readouterr()
+        assert "session3" in captured.out  # the per-unit failure table
+        failures = json.loads(read_bytes(outdir, "failures.json"))
+        assert failures["ok"] is False
+        quarantined = [
+            u for u in failures["units"] if u["status"] == "quarantined"
+        ]
+        assert [u["key"] for u in quarantined] == ["session3"]
+        assert quarantined[0]["failure_class"] == "sdc"
+
+    def test_strict_clean_run_exits_zero(self, tmp_path):
+        outdir = str(tmp_path / "strict-ok")
+        assert main(["run", outdir, "--strict"] + SCALE) == 0
+
+
+class TestSupervisionFlags:
+    def test_retries_flag_bounds_the_budget(self, tmp_path, capsys):
+        # Three transient faults with only one retry: quarantined.
+        outdir = str(tmp_path / "budget")
+        chaos = json.dumps(
+            {"units": {"session1": ["raise", "raise", "raise"]}}
+        )
+        code = main(
+            ["run", outdir, "--chaos", chaos, "--retries", "1", "--strict"]
+            + SCALE
+        )
+        assert code == EXIT_STRICT_FAILURES
+
+    def test_timeout_flag_reaches_the_policy(self, tmp_path):
+        # A generous timeout that never fires: the run is just clean.
+        outdir = str(tmp_path / "timeout")
+        assert main(["run", outdir, "--timeout", "60"] + SCALE) == 0
+
+    def test_resumed_run_writes_manifest(self, tmp_path, capsys):
+        outdir = str(tmp_path / "manifest")
+        chaos = json.dumps({"crash_after_units": 3})
+        assert (
+            main(["run", outdir, "--chaos", chaos] + SCALE)
+            == EXIT_INTERRUPTED
+        )
+        assert main(["run", outdir, "--resume", "--telemetry"] + SCALE) == 0
+        manifest = json.loads(read_bytes(outdir, "manifest.json"))
+        assert manifest["executor"] == "supervised"
+        counter_names = [
+            c["name"] for c in manifest["metrics"]["counters"]
+        ]
+        assert "resilient.resumed_units" in counter_names

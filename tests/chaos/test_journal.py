@@ -1,0 +1,156 @@
+"""The checkpoint journal: append-only JSONL, torn-tail salvage."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproIOError, SupervisionError
+from repro.resilient import (
+    CampaignJournal,
+    FSYNC_POLICIES,
+    JournalEntry,
+    JournalHeader,
+)
+
+HEADER = JournalHeader(
+    config_hash="abc123",
+    seed=7,
+    time_scale=0.01,
+    units=("session1", "session2"),
+)
+
+
+def entry(key, attempts=1):
+    return JournalEntry(
+        key=key,
+        attempts=attempts,
+        sram_bits=1024,
+        session={"label": key, "upsets": 3},
+        metrics={"counters": {"injection.flips": 3}},
+    )
+
+
+def write_journal(path, entries=(), header=HEADER):
+    with CampaignJournal.create(str(path), header, fsync="never") as journal:
+        for item in entries:
+            journal.append_unit(item)
+    return str(path)
+
+
+class TestRoundTrip:
+    def test_header_and_entries_come_back(self, tmp_path):
+        path = write_journal(
+            tmp_path / "journal.jsonl",
+            [entry("session1"), entry("session2", attempts=3)],
+        )
+        header, entries, salvaged = CampaignJournal.load(path)
+        assert header == HEADER
+        assert salvaged == 0
+        assert set(entries) == {"session1", "session2"}
+        assert entries["session2"].attempts == 3
+        assert entries["session1"].session == {"label": "session1", "upsets": 3}
+        assert entries["session1"].metrics == {
+            "counters": {"injection.flips": 3}
+        }
+
+    def test_create_truncates_stale_journal(self, tmp_path):
+        path = write_journal(tmp_path / "journal.jsonl", [entry("session1")])
+        write_journal(tmp_path / "journal.jsonl", [])
+        _, entries, _ = CampaignJournal.load(path)
+        assert entries == {}
+
+    def test_reopen_appends(self, tmp_path):
+        path = write_journal(tmp_path / "journal.jsonl", [entry("session1")])
+        with CampaignJournal(path, fsync="never").reopen() as journal:
+            journal.append_unit(entry("session2"))
+        _, entries, _ = CampaignJournal.load(path)
+        assert set(entries) == {"session1", "session2"}
+
+    def test_duplicate_key_last_wins(self, tmp_path):
+        # A rerun-after-salvage appends the unit again; the later,
+        # complete record is authoritative.
+        path = write_journal(
+            tmp_path / "journal.jsonl",
+            [entry("session1", attempts=1), entry("session1", attempts=2)],
+        )
+        _, entries, _ = CampaignJournal.load(path)
+        assert entries["session1"].attempts == 2
+
+
+class TestTornLines:
+    def test_torn_tail_is_salvaged(self, tmp_path):
+        path = write_journal(tmp_path / "journal.jsonl", [entry("session1")])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "unit", "key": "session2", "att')
+        header, entries, salvaged = CampaignJournal.load(path)
+        assert salvaged == 1
+        assert set(entries) == {"session1"}
+
+    def test_torn_middle_refuses_salvage(self, tmp_path):
+        path = write_journal(tmp_path / "journal.jsonl", [])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "unit", TORN\n')
+            handle.write(json.dumps(entry("session2").to_dict()) + "\n")
+        with pytest.raises(ReproIOError, match="corrupt at line"):
+            CampaignJournal.load(path)
+
+    def test_missing_journal(self, tmp_path):
+        with pytest.raises(ReproIOError, match="nothing to resume"):
+            CampaignJournal.load(str(tmp_path / "absent.jsonl"))
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text(json.dumps(entry("session1").to_dict()) + "\n")
+        with pytest.raises(ReproIOError, match="no header"):
+            CampaignJournal.load(str(path))
+
+    def test_empty_file_means_no_header(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text("")
+        with pytest.raises(ReproIOError, match="no header"):
+            CampaignJournal.load(str(path))
+
+    def test_unknown_record_kind(self, tmp_path):
+        path = write_journal(tmp_path / "journal.jsonl", [])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "mystery"}\n')
+            handle.write(json.dumps(entry("session1").to_dict()) + "\n")
+        with pytest.raises(ReproIOError, match="unexpected record kind"):
+            CampaignJournal.load(path)
+
+
+class TestSchemaAndPolicies:
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        record = HEADER.to_dict()
+        record["schema"] = 99
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ReproIOError, match="schema"):
+            CampaignJournal.load(str(path))
+
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(SupervisionError, match="fsync"):
+            CampaignJournal(str(tmp_path / "j.jsonl"), fsync="sometimes")
+
+    def test_policies_are_closed_set(self):
+        assert FSYNC_POLICIES == ("unit", "never")
+
+    def test_append_requires_open_handle(self, tmp_path):
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"), fsync="never")
+        with pytest.raises(SupervisionError, match="not open"):
+            journal.append_unit(entry("session1"))
+
+    def test_double_reopen_rejected(self, tmp_path):
+        path = write_journal(tmp_path / "journal.jsonl", [])
+        journal = CampaignJournal(path, fsync="never").reopen()
+        try:
+            with pytest.raises(SupervisionError, match="already open"):
+                journal.reopen()
+        finally:
+            journal.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = write_journal(tmp_path / "journal.jsonl", [])
+        journal = CampaignJournal(path, fsync="never").reopen()
+        journal.close()
+        journal.close()

@@ -1,0 +1,233 @@
+"""SupervisedExecutor under injected faults: retries, quarantine, recovery.
+
+Units here are tiny pure functions (module-level so they pickle into
+pool workers); the faults come exclusively from a deterministic
+:class:`ChaosSpec`, exactly as the CI chaos job drives the real
+campaign.
+"""
+
+import pytest
+
+from repro.engine import SerialExecutor, WorkUnit
+from repro.resilient import (
+    ChaosSpec,
+    FailureClass,
+    SupervisedExecutor,
+    SupervisionPolicy,
+    UnitFailure,
+)
+from repro.telemetry import Telemetry
+
+
+def _square(x):
+    return x * x
+
+
+def units(n=3):
+    return [
+        WorkUnit(key=f"unit{i}", fn=_square, args=(i,)) for i in range(n)
+    ]
+
+
+def no_sleep(_delay):
+    return None
+
+
+def make_executor(workers=1, chaos=None, sleep=no_sleep, **policy_kwargs):
+    policy = SupervisionPolicy(**policy_kwargs)
+    return SupervisedExecutor(
+        policy=policy, workers=workers, chaos=chaos, sleep=sleep
+    )
+
+
+class TestCleanRuns:
+    def test_matches_serial_executor(self):
+        batch = units()
+        supervised = make_executor().map(batch)
+        plain = SerialExecutor().map(units())
+        assert supervised == plain == [0, 1, 4]
+
+    def test_no_resilient_counters_without_faults(self):
+        # Acceptance criterion: with no faults firing, supervision is
+        # invisible -- no retries, no quarantines, nothing counted.
+        telemetry = Telemetry()
+        make_executor().map(units(), telemetry=telemetry)
+        counters = telemetry.metrics.counter_values()
+        assert not any(k.startswith("resilient.") for k in counters)
+        assert counters["engine.units"] == 3
+
+    def test_reports_in_submission_order(self):
+        executor = make_executor()
+        executor.map(units())
+        assert [r.key for r in executor.last_reports] == [
+            "unit0", "unit1", "unit2",
+        ]
+        assert all(r.ok and r.attempts == 1 for r in executor.last_reports)
+
+    def test_on_result_fires_in_order(self):
+        seen = []
+        make_executor().map(
+            units(),
+            on_result=lambda index, report, result: seen.append(
+                (index, report.key, result)
+            ),
+        )
+        assert seen == [(0, "unit0", 0), (1, "unit1", 1), (2, "unit2", 4)]
+
+
+class TestRetries:
+    def test_transient_fault_cleared_by_retry(self):
+        chaos = ChaosSpec(units={"unit1": ("raise", "ok")})
+        telemetry = Telemetry()
+        executor = make_executor(chaos=chaos)
+        results = executor.map(units(), telemetry=telemetry)
+        assert results == [0, 1, 4]
+        report = executor.last_reports[1]
+        assert report.ok and report.attempts == 2 and report.retries == 1
+        counters = telemetry.metrics.counter_values()
+        assert counters["resilient.failures{unit_class=appcrash}"] == 1
+        assert counters["resilient.retries{unit_class=appcrash}"] == 1
+
+    def test_backoff_schedule_is_deterministic(self):
+        slept = []
+        chaos = ChaosSpec(units={"unit0": ("raise", "raise", "ok")})
+        executor = make_executor(
+            chaos=chaos,
+            sleep=slept.append,
+            max_retries=3,
+            backoff_s=0.1,
+            backoff_factor=2.0,
+            max_backoff_s=10.0,
+        )
+        assert executor.map(units(1)) == [0]
+        assert slept == [0.1, 0.2]
+        assert slept == executor.policy.backoff_schedule()[: len(slept)]
+
+    def test_retries_exhausted_quarantines(self):
+        chaos = ChaosSpec(units={"unit2": ("raise", "raise", "raise")})
+        telemetry = Telemetry()
+        executor = make_executor(chaos=chaos, max_retries=2)
+        results = executor.map(units(), telemetry=telemetry)
+        assert results[:2] == [0, 1]
+        failure = results[2]
+        assert isinstance(failure, UnitFailure)
+        assert not failure  # falsy sentinel
+        assert failure.attempts == 3
+        assert failure.failure_class is FailureClass.APP_CRASH
+        counters = telemetry.metrics.counter_values()
+        assert counters["resilient.quarantined{unit_class=appcrash}"] == 1
+        assert counters["engine.units"] == 2  # only the ok units count
+
+
+class TestQuarantine:
+    def test_fatal_fault_never_retried(self):
+        # SDC-like: deterministic failure, retrying reproduces it.
+        chaos = ChaosSpec(units={"unit1": ("fatal", "ok")})
+        telemetry = Telemetry()
+        executor = make_executor(chaos=chaos)
+        results = executor.map(units(), telemetry=telemetry)
+        failure = results[1]
+        assert isinstance(failure, UnitFailure)
+        assert failure.attempts == 1  # the "ok" second attempt never ran
+        assert failure.failure_class is FailureClass.SDC
+        report = executor.last_reports[1]
+        assert report.status == "quarantined" and report.retries == 0
+        counters = telemetry.metrics.counter_values()
+        assert counters["resilient.quarantined{unit_class=sdc}"] == 1
+        assert "resilient.retries{unit_class=sdc}" not in counters
+
+    def test_batch_survives_a_poison_unit(self):
+        chaos = ChaosSpec(units={"unit0": ("fatal",)})
+        results = make_executor(chaos=chaos).map(units())
+        assert isinstance(results[0], UnitFailure)
+        assert results[1:] == [1, 4]
+
+
+class TestTimeouts:
+    def test_serial_hang_times_out_and_retries(self):
+        chaos = ChaosSpec(units={"unit1": ("hang", "ok")}, hang_s=0.5)
+        telemetry = Telemetry()
+        executor = make_executor(chaos=chaos, timeout_s=0.05)
+        results = executor.map(units(), telemetry=telemetry)
+        assert results == [0, 1, 4]
+        report = executor.last_reports[1]
+        assert report.ok and report.timeouts == 1 and report.retries == 1
+        counters = telemetry.metrics.counter_values()
+        assert counters["resilient.timeouts"] == 1
+        assert counters["resilient.failures{unit_class=syscrash}"] == 1
+
+    def test_timeout_exhaustion_quarantines_as_syscrash(self):
+        chaos = ChaosSpec(units={"unit0": ("hang", "hang")}, hang_s=0.5)
+        executor = make_executor(
+            chaos=chaos, timeout_s=0.05, max_retries=1
+        )
+        results = executor.map(units(1))
+        failure = results[0]
+        assert isinstance(failure, UnitFailure)
+        assert failure.failure_class is FailureClass.SYS_CRASH
+
+
+class TestParallel:
+    def test_clean_parallel_matches_serial(self):
+        assert make_executor(workers=2).map(units(4)) == [0, 1, 4, 9]
+
+    def test_killed_worker_breaks_pool_and_recovers(self):
+        # 'kill' hard-exits the worker; the supervisor restarts the
+        # pool (a breakage, not a unit retry) and every unit completes.
+        chaos = ChaosSpec(units={"unit1": ("kill", "ok")})
+        telemetry = Telemetry()
+        executor = make_executor(workers=2, chaos=chaos)
+        results = executor.map(units(4), telemetry=telemetry)
+        assert results == [0, 1, 4, 9]
+        counters = telemetry.metrics.counter_values()
+        assert counters["resilient.pool_breakages"] >= 1
+        # Innocent units never pay for the breakage with retry budget.
+        assert all(r.ok for r in executor.last_reports)
+
+    def test_breakage_budget_exceeded_degrades_to_serial(self):
+        chaos = ChaosSpec(units={"unit0": ("kill", "ok")})
+        telemetry = Telemetry()
+        executor = make_executor(
+            workers=2, chaos=chaos, max_pool_breakages=0
+        )
+        results = executor.map(units(3), telemetry=telemetry)
+        # Under serial execution 'kill' degrades to a transient raise,
+        # so the retry budget rescues the unit and the batch completes.
+        assert results == [0, 1, 4]
+        counters = telemetry.metrics.counter_values()
+        assert counters["resilient.degraded"] == 1
+
+    def test_parallel_hang_is_charged_to_the_unit(self):
+        chaos = ChaosSpec(units={"unit1": ("hang", "ok")}, hang_s=2.0)
+        telemetry = Telemetry()
+        executor = make_executor(workers=2, chaos=chaos, timeout_s=0.2)
+        results = executor.map(units(3), telemetry=telemetry)
+        assert results == [0, 1, 4]
+        counters = telemetry.metrics.counter_values()
+        assert counters["resilient.timeouts"] >= 1
+        assert counters["resilient.pool_breakages"] >= 1
+
+
+class TestValidation:
+    def test_negative_workers_rejected(self):
+        from repro.errors import SupervisionError
+
+        with pytest.raises(SupervisionError):
+            SupervisedExecutor(workers=-1)
+
+    def test_unknown_chaos_fault_rejected(self):
+        from repro.errors import ChaosError
+
+        with pytest.raises(ChaosError, match="unknown fault"):
+            ChaosSpec(units={"unit0": ("explode",)})
+
+    def test_chaos_spec_roundtrip_from_json(self):
+        spec = ChaosSpec.from_json(
+            '{"units": {"session1": ["raise", "ok"]}, "hang_s": 0.25}'
+        )
+        assert spec.fault_for("session1", 0) == "raise"
+        assert spec.fault_for("session1", 1) == "ok"
+        assert spec.fault_for("session1", 5) == "ok"
+        assert spec.fault_for("other", 0) == "ok"
+        assert spec.touches("session1") and not spec.touches("other")
+        assert spec.hang_s == 0.25

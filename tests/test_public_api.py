@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.io",
     "repro.resilience",
+    "repro.resilient",
     "repro.engine",
     "repro.telemetry",
 ]
