@@ -3,7 +3,7 @@
 Subcommands::
 
     repro-campaign run OUTDIR [--seed N] [--time-scale X] [--workers N]
-                              [--telemetry] [--resume] [--strict]
+                              [--telemetry] [--resume | --fresh] [--strict]
                               [--timeout S] [--retries N] [--chaos SPEC]
         Fly the Table 2 campaign and persist everything under OUTDIR
         (campaign.json + per-session dmesg captures + manifest.json +
@@ -15,7 +15,9 @@ Subcommands::
         Every completed work unit is checkpointed to journal.jsonl; an
         interrupted run (SIGTERM/SIGINT, exit 143/130) resumes with
         --resume, producing campaign.json byte-identical to an
-        uninterrupted run.  Work units fly under supervision: --timeout
+        uninterrupted run.  Rerunning an OUTDIR that already holds a
+        journal without --resume is refused (it would destroy the
+        checkpoints); pass --fresh to discard them deliberately.  Work units fly under supervision: --timeout
         bounds each unit, --retries bounds transient-failure retries
         (deterministic exponential backoff), and persistently failing
         units are quarantined.  Without --strict a partial campaign
@@ -117,6 +119,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if not args.resume and not args.fresh and results.has_journal():
+        # Starting over silently truncates the journal -- for a
+        # multi-day campaign that destroys every checkpoint before a
+        # single new unit completes, so make the operator choose.
+        print(
+            f"error: {args.outdir!r} already holds a checkpoint journal; "
+            f"resume it with --resume, or pass --fresh to discard the "
+            f"checkpoints and start over",
+            file=sys.stderr,
+        )
+        return 1
     try:
         with _interruptible():
             if telemetry is not None:
@@ -190,6 +203,8 @@ def _render_command(args: argparse.Namespace) -> str:
         command += " --telemetry"
     if args.resume:
         command += " --resume"
+    if args.fresh:
+        command += " --fresh"
     if args.strict:
         command += " --strict"
     if args.timeout is not None:
@@ -347,10 +362,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record metrics/spans into manifest.json and print a summary",
     )
-    run.add_argument(
+    journal_mode = run.add_mutually_exclusive_group()
+    journal_mode.add_argument(
         "--resume",
         action="store_true",
         help="resume an interrupted run from OUTDIR's checkpoint journal",
+    )
+    journal_mode.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard OUTDIR's existing checkpoint journal and start "
+        "over (without this, rerunning a journaled OUTDIR is refused)",
     )
     run.add_argument(
         "--strict",

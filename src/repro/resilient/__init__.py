@@ -37,6 +37,7 @@ from .journal import (
     FSYNC_POLICIES,
     JournalEntry,
     JournalHeader,
+    LoadedJournal,
 )
 from .policy import (
     FailureClass,
@@ -57,6 +58,7 @@ __all__ = [
     "FSYNC_POLICIES",
     "JournalEntry",
     "JournalHeader",
+    "LoadedJournal",
     "FailureClass",
     "SupervisionPolicy",
     "UnitTimeoutError",

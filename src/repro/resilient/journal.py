@@ -20,6 +20,11 @@ Design rules, in decreasing order of importance:
   final line that does not parse is dropped (the crash interrupted that
   append); a non-final line that does not parse means someone edited
   the file and :class:`~repro.errors.ReproIOError` is raised.
+* **Reopen truncates what load salvaged.**  :meth:`CampaignJournal.load`
+  reports the byte offset of the end of the last valid line and
+  :meth:`CampaignJournal.reopen` truncates the file to it, so the torn
+  fragment is physically removed before the resumed run appends -- the
+  journal stays parseable even if the resumed run is interrupted again.
 * **Resume is config-checked.**  The header pins the campaign's stable
   config hash; resuming under a different seed/time-scale/plan set
   raises instead of silently merging incompatible results.
@@ -112,6 +117,21 @@ class JournalEntry:
         )
 
 
+@dataclass(frozen=True)
+class LoadedJournal:
+    """What :meth:`CampaignJournal.load` read back.
+
+    ``valid_end`` is the byte offset just past the last valid line --
+    the offset :meth:`CampaignJournal.reopen` truncates to so a torn
+    tail is physically removed before the resumed run appends.
+    """
+
+    header: JournalHeader
+    entries: Dict[str, JournalEntry]
+    salvaged: int
+    valid_end: int
+
+
 class CampaignJournal:
     """Writer/reader of one results directory's checkpoint journal.
 
@@ -140,12 +160,39 @@ class CampaignJournal:
         journal._write_line(header.to_dict())
         return journal
 
-    def reopen(self) -> "CampaignJournal":
-        """Open an existing journal for appending (resume path)."""
+    def reopen(self, valid_end: Optional[int] = None) -> "CampaignJournal":
+        """Open an existing journal for appending (resume path).
+
+        *valid_end* is the byte offset past the last valid line, as
+        reported by :meth:`load`; the file is truncated to it before
+        appending so a torn tail is physically removed.  Appending
+        straight after the fragment would glue the next record onto it
+        (no newline between them), leaving a corrupt non-final line
+        that a second resume refuses to salvage.  Without *valid_end*
+        the tail is trimmed back to the last newline, which removes any
+        unterminated fragment (every complete record ends in one).
+        """
         if self._handle is not None:
             raise SupervisionError("journal already open")
+        self._truncate_torn_tail(valid_end)
         self._handle = open(self.path, "a")
         return self
+
+    def _truncate_torn_tail(self, valid_end: Optional[int]) -> None:
+        try:
+            with open(self.path, "r+b") as handle:
+                size = handle.seek(0, os.SEEK_END)
+                if valid_end is None:
+                    handle.seek(0)
+                    raw = handle.read()
+                    valid_end = raw.rfind(b"\n") + 1
+                if 0 <= valid_end < size:
+                    handle.truncate(valid_end)
+                    handle.flush()
+                    if self.fsync == "unit":
+                        os.fsync(handle.fileno())
+        except FileNotFoundError:
+            pass  # nothing to trim; append will create the file
 
     def append_unit(self, entry: JournalEntry) -> None:
         """Checkpoint one completed unit (flush + fsync per policy)."""
@@ -174,18 +221,18 @@ class CampaignJournal:
     # -- reading -----------------------------------------------------------------
 
     @classmethod
-    def load(
-        cls, path: str
-    ) -> Tuple[JournalHeader, Dict[str, JournalEntry], int]:
-        """Read a journal back: ``(header, entries by key, salvaged lines)``.
+    def load(cls, path: str) -> LoadedJournal:
+        """Read a journal back as a :class:`LoadedJournal`.
 
         A torn final line (the signature of a crash mid-append) is
         dropped and counted; torn lines anywhere else raise
-        :class:`~repro.errors.ReproIOError`.
+        :class:`~repro.errors.ReproIOError`.  ``valid_end`` marks the
+        byte offset past the last valid line, for
+        :meth:`reopen` to truncate the salvaged tail away.
         """
         try:
-            with open(path) as handle:
-                lines = handle.read().splitlines()
+            with open(path, "rb") as handle:
+                raw = handle.read()
         except FileNotFoundError:
             raise ReproIOError(
                 f"no journal at {path!r}; nothing to resume "
@@ -194,14 +241,27 @@ class CampaignJournal:
         except OSError as exc:
             raise ReproIOError(f"cannot read journal {path!r}: {exc}") from exc
 
+        lines = raw.splitlines()
         records: List[dict] = []
         salvaged = 0
+        valid_end = 0
+        pos = 0
         for index, line in enumerate(lines):
+            # Offset past this line including its terminator (the
+            # final line has none iff the file does not end with one;
+            # splitlines treats \r\n as a single two-byte terminator).
+            pos += len(line)
+            if raw[pos:pos + 2] == b"\r\n":
+                pos += 2
+            elif pos < len(raw):
+                pos += 1
             if not line.strip():
+                valid_end = pos
                 continue
             try:
                 records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
+                valid_end = pos
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
                 if index == len(lines) - 1:
                     # Crash tore the tail append; the units before it
                     # are intact, the torn one simply reruns.
@@ -227,4 +287,9 @@ class CampaignJournal:
                 )
             entry = JournalEntry.from_dict(record)
             entries[entry.key] = entry
-        return header, entries, salvaged
+        return LoadedJournal(
+            header=header,
+            entries=entries,
+            salvaged=salvaged,
+            valid_end=valid_end,
+        )

@@ -210,8 +210,9 @@ class ResilientCampaign:
         completed: Dict[str, JournalEntry] = {}
         salvaged = 0
         if resume:
-            stored_header, completed, salvaged = CampaignJournal.load(
-                journal_path
+            loaded = CampaignJournal.load(journal_path)
+            stored_header, completed, salvaged = (
+                loaded.header, loaded.entries, loaded.salvaged,
             )
             if stored_header.config_hash != header.config_hash:
                 raise ReproIOError(
@@ -231,7 +232,11 @@ class ResilientCampaign:
             if salvaged:
                 telemetry.count("resilient.journal_salvaged", n=salvaged)
             telemetry.count("resilient.resumed_units", n=len(completed))
-            journal = CampaignJournal(journal_path, fsync=self.fsync).reopen()
+            # Truncate to the last valid line so a salvaged torn tail
+            # is removed before new records are appended after it.
+            journal = CampaignJournal(journal_path, fsync=self.fsync).reopen(
+                valid_end=loaded.valid_end
+            )
         else:
             journal = CampaignJournal.create(
                 journal_path, header, fsync=self.fsync

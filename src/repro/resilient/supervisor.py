@@ -297,47 +297,66 @@ class SupervisedExecutor(Executor):
         results: List[Any] = []
         reports: List[UnitReport] = []
         for index, unit in enumerate(units):
-            state = _UnitState(unit=unit)
-            self._log(
-                logbook, started, "engine", f"run {unit.key} (supervised)"
+            result, report = self._supervise_one(
+                _UnitState(unit=unit), tele, logbook, started
             )
-            while True:
-                attempt_started = time.perf_counter()
-                try:
-                    result = self._attempt_serial(unit, state.attempt)
-                except CampaignInterrupted:
-                    raise
-                except Exception as exc:
-                    report = self._on_failure(
-                        state, exc, tele, logbook, started
-                    )
-                    if report is None:
-                        continue
-                    result = UnitFailure(
-                        key=unit.key,
-                        failure_class=report.failure_class,
-                        attempts=report.attempts,
-                        error=report.error,
-                    )
-                else:
-                    tele.observe(
-                        "engine.unit_seconds",
-                        time.perf_counter() - attempt_started,
-                    )
-                    report = UnitReport(
-                        key=unit.key,
-                        status="ok",
-                        attempts=state.attempt + 1,
-                        retries=state.retries,
-                        timeouts=state.timeouts,
-                    )
-                    self._log(logbook, started, "engine", f"done {unit.key}")
-                break
             results.append(result)
             reports.append(report)
             if on_result is not None:
                 on_result(index, report, result)
         return results, reports
+
+    def _supervise_one(
+        self,
+        state: _UnitState,
+        tele: Telemetry,
+        logbook,
+        started: float,
+    ):
+        """Run one unit to completion in-process, honoring *state*.
+
+        Takes an existing :class:`_UnitState` (not just a unit) so the
+        parallel-to-serial degradation path keeps the attempt/retry/
+        timeout budget a unit already burned in the pool -- and so
+        chaos faults keep firing at the right attempt numbers.
+        """
+        unit = state.unit
+        self._log(
+            logbook, started, "engine", f"run {unit.key} (supervised)"
+        )
+        while True:
+            attempt_started = time.perf_counter()
+            try:
+                result = self._attempt_serial(unit, state.attempt)
+            except CampaignInterrupted:
+                raise
+            except Exception as exc:
+                report = self._on_failure(
+                    state, exc, tele, logbook, started
+                )
+                if report is None:
+                    continue
+                result = UnitFailure(
+                    key=unit.key,
+                    failure_class=report.failure_class,
+                    attempts=report.attempts,
+                    error=report.error,
+                )
+            else:
+                tele.observe(
+                    "engine.unit_seconds",
+                    time.perf_counter() - attempt_started,
+                )
+                report = UnitReport(
+                    key=unit.key,
+                    status="ok",
+                    attempts=state.attempt + 1,
+                    retries=state.retries,
+                    timeouts=state.timeouts,
+                )
+                self._log(logbook, started, "engine", f"done {unit.key}")
+            state.done = True
+            return result, report
 
     # -- parallel path -----------------------------------------------------------
 
@@ -398,12 +417,12 @@ class SupervisedExecutor(Executor):
             for index, state in enumerate(states):
                 while not state.done:
                     if degraded:
-                        serial_results, serial_reports = self._map_serial(
-                            [state.unit], tele, logbook, started, None
+                        # Continue the *same* _UnitState serially so the
+                        # attempt/retry/timeout budget already burned in
+                        # the pool carries over instead of resetting.
+                        results[index], reports[index] = self._supervise_one(
+                            state, tele, logbook, started
                         )
-                        results[index] = serial_results[0]
-                        reports[index] = serial_reports[0]
-                        state.done = True
                         break
                     dispatch_started = time.perf_counter()
                     try:
@@ -417,10 +436,11 @@ class SupervisedExecutor(Executor):
                         # as a breakage.
                         breakages += 1
                         tele.count("resilient.pool_breakages")
-                        pool.shutdown(wait=False, cancel_futures=True)
+                        self._retire_pool(pool)
                         exceeded = breakages > self.policy.max_pool_breakages
                         if exceeded:
                             degraded = True
+                            pool = None
                             tele.count("resilient.degraded")
                             self._log(
                                 logbook, started, "engine",
@@ -506,6 +526,33 @@ class SupervisedExecutor(Executor):
             if pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
         return results, reports
+
+    @staticmethod
+    def _retire_pool(pool: ProcessPoolExecutor) -> None:
+        """Shut a pool down and kill its workers (the 'power cycle').
+
+        ``shutdown(cancel_futures=True)`` only cancels *pending*
+        futures -- a running (hung) unit keeps executing in its worker
+        process.  Without killing those workers every timeout would
+        leak a live process next to the replacement pool, and since
+        ``concurrent.futures`` joins workers at interpreter exit, one
+        genuinely hung unit could hang the CLI on exit despite the
+        timeout.
+        """
+        # Snapshot the workers first: shutdown() drops the pool's
+        # reference to them even with wait=False.
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            try:
+                proc.kill()
+            except (OSError, ValueError, AttributeError):
+                pass  # already dead / exotic platform
+        for proc in processes:
+            try:
+                proc.join(timeout=5.0)
+            except (OSError, ValueError, AssertionError):
+                pass
 
     @staticmethod
     def _finish_failed(

@@ -78,6 +78,36 @@ class TestCrashAndResume:
         assert "different campaign" in capsys.readouterr().err
 
 
+class TestFreshGuard:
+    def test_rerun_without_resume_is_refused(self, tmp_path, capsys):
+        # Forgetting --resume must not truncate the journal: a rerun of
+        # a journaled outdir is refused before any checkpoint is lost.
+        outdir = str(tmp_path / "guarded")
+        assert main(["run", outdir] + SCALE) == 0
+        before = read_bytes(outdir, "journal.jsonl")
+        capsys.readouterr()
+        assert main(["run", outdir] + SCALE) == 1
+        err = capsys.readouterr().err
+        assert "--resume" in err and "--fresh" in err
+        assert read_bytes(outdir, "journal.jsonl") == before
+
+    def test_fresh_discards_checkpoints_and_reruns(self, tmp_path, clean_run):
+        outdir = str(tmp_path / "fresh")
+        chaos = json.dumps({"crash_after_units": 2})
+        assert (
+            main(["run", outdir, "--chaos", chaos] + SCALE)
+            == EXIT_INTERRUPTED
+        )
+        assert main(["run", outdir, "--fresh"] + SCALE) == 0
+        assert read_bytes(outdir) == read_bytes(clean_run)
+
+    def test_resume_and_fresh_are_mutually_exclusive(self, tmp_path, capsys):
+        outdir = str(tmp_path / "conflict")
+        with pytest.raises(SystemExit):
+            main(["run", outdir, "--resume", "--fresh"] + SCALE)
+        assert "not allowed with" in capsys.readouterr().err
+
+
 class TestChaosSurvival:
     def test_retried_faults_leave_artifacts_identical(
         self, tmp_path, clean_run, capsys

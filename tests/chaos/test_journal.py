@@ -1,6 +1,7 @@
 """The checkpoint journal: append-only JSONL, torn-tail salvage."""
 
 import json
+import os
 
 import pytest
 
@@ -43,9 +44,11 @@ class TestRoundTrip:
             tmp_path / "journal.jsonl",
             [entry("session1"), entry("session2", attempts=3)],
         )
-        header, entries, salvaged = CampaignJournal.load(path)
-        assert header == HEADER
-        assert salvaged == 0
+        loaded = CampaignJournal.load(path)
+        assert loaded.header == HEADER
+        assert loaded.salvaged == 0
+        assert loaded.valid_end == os.path.getsize(path)
+        entries = loaded.entries
         assert set(entries) == {"session1", "session2"}
         assert entries["session2"].attempts == 3
         assert entries["session1"].session == {"label": "session1", "upsets": 3}
@@ -56,14 +59,13 @@ class TestRoundTrip:
     def test_create_truncates_stale_journal(self, tmp_path):
         path = write_journal(tmp_path / "journal.jsonl", [entry("session1")])
         write_journal(tmp_path / "journal.jsonl", [])
-        _, entries, _ = CampaignJournal.load(path)
-        assert entries == {}
+        assert CampaignJournal.load(path).entries == {}
 
     def test_reopen_appends(self, tmp_path):
         path = write_journal(tmp_path / "journal.jsonl", [entry("session1")])
         with CampaignJournal(path, fsync="never").reopen() as journal:
             journal.append_unit(entry("session2"))
-        _, entries, _ = CampaignJournal.load(path)
+        entries = CampaignJournal.load(path).entries
         assert set(entries) == {"session1", "session2"}
 
     def test_duplicate_key_last_wins(self, tmp_path):
@@ -73,18 +75,48 @@ class TestRoundTrip:
             tmp_path / "journal.jsonl",
             [entry("session1", attempts=1), entry("session1", attempts=2)],
         )
-        _, entries, _ = CampaignJournal.load(path)
+        entries = CampaignJournal.load(path).entries
         assert entries["session1"].attempts == 2
 
 
 class TestTornLines:
     def test_torn_tail_is_salvaged(self, tmp_path):
         path = write_journal(tmp_path / "journal.jsonl", [entry("session1")])
+        intact = os.path.getsize(path)
         with open(path, "a") as handle:
             handle.write('{"kind": "unit", "key": "session2", "att')
-        header, entries, salvaged = CampaignJournal.load(path)
-        assert salvaged == 1
-        assert set(entries) == {"session1"}
+        loaded = CampaignJournal.load(path)
+        assert loaded.salvaged == 1
+        assert set(loaded.entries) == {"session1"}
+        # valid_end excludes the fragment: reopen() truncates to here.
+        assert loaded.valid_end == intact
+
+    def test_reopen_truncates_salvaged_tail(self, tmp_path):
+        # Resume after a torn tail must remove the fragment before
+        # appending -- otherwise the first appended record glues onto
+        # it (no newline between them) and a *second* resume hard-fails
+        # on a corrupt non-final line.
+        path = write_journal(tmp_path / "journal.jsonl", [entry("session1")])
+        with open(path, "a") as handle:
+            handle.write('{"kind": "unit", "key": "session2", "att')
+        loaded = CampaignJournal.load(path)
+        with CampaignJournal(path, fsync="never").reopen(
+            valid_end=loaded.valid_end
+        ) as journal:
+            journal.append_unit(entry("session2"))
+        reloaded = CampaignJournal.load(path)
+        assert reloaded.salvaged == 0
+        assert set(reloaded.entries) == {"session1", "session2"}
+
+    def test_reopen_without_offset_trims_unterminated_tail(self, tmp_path):
+        path = write_journal(tmp_path / "journal.jsonl", [entry("session1")])
+        with open(path, "a") as handle:
+            handle.write('{"torn')
+        with CampaignJournal(path, fsync="never").reopen() as journal:
+            journal.append_unit(entry("session2"))
+        reloaded = CampaignJournal.load(path)
+        assert reloaded.salvaged == 0
+        assert set(reloaded.entries) == {"session1", "session2"}
 
     def test_torn_middle_refuses_salvage(self, tmp_path):
         path = write_journal(tmp_path / "journal.jsonl", [])

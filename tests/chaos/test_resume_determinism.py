@@ -14,7 +14,12 @@ import pytest
 
 from repro.errors import ReproIOError
 from repro.io import ResultsDirectory
-from repro.resilient import ChaosSpec, SimulatedCrash, SupervisionPolicy
+from repro.resilient import (
+    CampaignJournal,
+    ChaosSpec,
+    SimulatedCrash,
+    SupervisionPolicy,
+)
 from repro.telemetry import Telemetry
 
 from .conftest import counters_without_noise, make_runner
@@ -188,6 +193,20 @@ class TestResumeGuards:
         )
         counters = telemetry.metrics.counter_values()
         assert counters["resilient.journal_salvaged"] == 1
+        # The resume truncated the torn fragment before appending, so
+        # the journal is parseable again -- a second interruption would
+        # still be resumable instead of hard-failing on a corrupt
+        # non-final line.
+        reloaded = CampaignJournal.load(journal)
+        assert reloaded.salvaged == 0
+        assert set(reloaded.entries) == {
+            "session1", "session2", "session3", "session4",
+        }
+        second = make_runner(fsync="never").run(results, resume=True)
+        assert second.resumed_units == 4
+        assert run_to_bytes(outdir, second, results) == (
+            reference_run["campaign_bytes"]
+        )
 
     def test_fully_complete_resume_flies_nothing(self, tmp_path, reference_run):
         outdir = str(tmp_path / "complete")

@@ -6,6 +6,9 @@ pool workers); the faults come exclusively from a deterministic
 campaign.
 """
 
+import multiprocessing
+import time
+
 import pytest
 
 from repro.engine import SerialExecutor, WorkUnit
@@ -206,6 +209,46 @@ class TestParallel:
         counters = telemetry.metrics.counter_values()
         assert counters["resilient.timeouts"] >= 1
         assert counters["resilient.pool_breakages"] >= 1
+
+    def test_timeout_kills_hung_worker(self):
+        # Retiring a pool on timeout must reclaim the hung worker:
+        # shutdown(cancel_futures=True) alone leaves it running (and
+        # joined at interpreter exit).  hang_s is far beyond the test's
+        # patience, so only an actual kill lets the children drain.
+        chaos = ChaosSpec(units={"unit0": ("hang", "ok")}, hang_s=60.0)
+        executor = make_executor(workers=2, chaos=chaos, timeout_s=0.2)
+        results = executor.map(units(2))
+        assert results == [0, 1]
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if not any(
+                p.is_alive() for p in multiprocessing.active_children()
+            ):
+                break
+            time.sleep(0.05)
+        assert not any(
+            p.is_alive() for p in multiprocessing.active_children()
+        )
+
+    def test_degradation_keeps_unit_state(self):
+        # A unit that burned an attempt in the pool must continue from
+        # that attempt when the supervisor degrades to serial -- not
+        # restart with a fresh retry budget and replayed chaos faults.
+        chaos = ChaosSpec(units={"unit0": ("hang", "ok")}, hang_s=2.0)
+        telemetry = Telemetry()
+        executor = make_executor(
+            workers=2, chaos=chaos, timeout_s=0.2, max_pool_breakages=0
+        )
+        results = executor.map(units(2), telemetry=telemetry)
+        assert results == [0, 1]
+        report = executor.last_reports[0]
+        assert report.ok
+        assert report.attempts == 2 and report.retries == 1
+        assert report.timeouts == 1
+        counters = telemetry.metrics.counter_values()
+        # Attempt 0 fired once (in the pool); a reset state would
+        # replay the hang serially and count a second timeout.
+        assert counters["resilient.timeouts"] == 1
 
 
 class TestValidation:
