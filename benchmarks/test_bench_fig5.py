@@ -1,18 +1,6 @@
 """Bench: Fig. 5 -- per-benchmark upsets/minute at the 2.4 GHz voltages."""
 
-import pytest
-
 from repro.experiments.fig5 import DISPLAY_ORDER
-
-PAPER = {
-    "CG": [0.87, 0.84, 0.58],
-    "LU": [1.15, 1.09, 1.03],
-    "FT": [1.11, 1.21, 1.37],
-    "EP": [1.03, 1.22, 1.17],
-    "MG": [0.94, 1.02, 1.32],
-    "IS": [1.03, 1.11, 1.28],
-    "Total": [1.01, 1.08, 1.12],
-}
 
 
 def _collect(analysis, campaign):
@@ -33,19 +21,19 @@ def _collect(analysis, campaign):
     return rates
 
 
-def test_bench_fig5(benchmark, analysis, campaign):
+def test_bench_fig5(benchmark, analysis, campaign, conformance):
     rates = benchmark(_collect, analysis, campaign)
 
     print("\nFig. 5: upsets/min per benchmark (980/930/920 mV)")
     for bench, row in rates.items():
         print(f"  {bench:>6}: " + "  ".join(f"{r:.2f}" for r in row))
 
-    # Totals track the paper closely.
-    for ours, theirs in zip(rates["Total"], PAPER["Total"]):
-        assert ours == pytest.approx(theirs, rel=0.15)
+    # Totals track the paper's bars via the golden file (fig5.json).
+    conformance("fig5")
 
     # The benchmark ordering at nominal holds: CG and MG below average,
-    # LU and FT above (Fig. 5's left-most bars).
+    # LU and FT above (Fig. 5's left-most bars).  Expectation-driven:
+    # each bar pools hundreds of events at full session length.
     assert rates["CG"][0] < rates["Total"][0] < rates["LU"][0]
     assert rates["MG"][0] < rates["FT"][0]
 

@@ -1,14 +1,12 @@
 """Bench: Fig. 6 -- upsets/minute per cache level at 2.4 GHz."""
 
-import pytest
-
-PAPER = {
-    ("TLBs", "CE"): [0.016, 0.011, 0.009],
-    ("L1 Cache", "CE"): [0.028, 0.037, 0.026],
-    ("L2 Cache", "CE"): [0.157, 0.178, 0.194],
-    ("L3 Cache", "CE"): [0.765, 0.809, 0.841],
-    ("L3 Cache", "UE"): [0.038, 0.041, 0.035],
-}
+KEYS = [
+    ("TLBs", "CE"),
+    ("L1 Cache", "CE"),
+    ("L2 Cache", "CE"),
+    ("L3 Cache", "CE"),
+    ("L3 Cache", "UE"),
+]
 
 
 def _collect(analysis, campaign):
@@ -18,7 +16,7 @@ def _collect(analysis, campaign):
         if campaign.session(label).plan.point.freq_mhz == 2400
     ]
     out = {}
-    for key in PAPER:
+    for key in KEYS:
         out[key] = [
             analysis.level_upset_rates(label).get(f"{key[0]}/{key[1]}", 0.0)
             for label in labels
@@ -26,12 +24,16 @@ def _collect(analysis, campaign):
     return out
 
 
-def test_bench_fig6(benchmark, analysis, campaign):
+def test_bench_fig6(benchmark, analysis, campaign, conformance):
     rates = benchmark(_collect, analysis, campaign)
 
     print("\nFig. 6: upsets/min per level (980/930/920 mV)")
     for key, row in rates.items():
         print(f"  {key[0]:>9}/{key[1]}: " + "  ".join(f"{r:.3f}" for r in row))
+
+    # Every (level, severity) count lands inside the Poisson band
+    # around the paper's bars (golden file fig6.json).
+    conformance("fig6")
 
     # Observation #2: the larger the structure, the higher the rate,
     # at every voltage.
@@ -46,11 +48,6 @@ def test_bench_fig6(benchmark, analysis, campaign):
     # The big arrays' rates rise monotonically with undervolt.
     for key in (("L2 Cache", "CE"), ("L3 Cache", "CE")):
         assert rates[key][0] < rates[key][2]
-
-    # L2 and L3 CE rates land near the paper's bars.
-    for key in (("L2 Cache", "CE"), ("L3 Cache", "CE")):
-        for ours, theirs in zip(rates[key], PAPER[key]):
-            assert ours == pytest.approx(theirs, rel=0.25)
 
     # Uncorrected errors exist only in the L3, at a few percent of its
     # corrected rate (SECDED + no interleaving; Observation #3).

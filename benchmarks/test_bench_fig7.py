@@ -1,14 +1,12 @@
 """Bench: Fig. 7 -- per-level upsets/minute at 790 mV / 900 MHz."""
 
-import pytest
-
-PAPER = {
-    ("TLBs", "CE"): 0.03,
-    ("L1 Cache", "CE"): 0.07,
-    ("L2 Cache", "CE"): 0.29,
-    ("L3 Cache", "CE"): 0.83,
-    ("L3 Cache", "UE"): 0.04,
-}
+KEYS = [
+    ("TLBs", "CE"),
+    ("L1 Cache", "CE"),
+    ("L2 Cache", "CE"),
+    ("L3 Cache", "CE"),
+    ("L3 Cache", "UE"),
+]
 
 
 def _collect(analysis, campaign):
@@ -18,19 +16,19 @@ def _collect(analysis, campaign):
         if campaign.session(label).plan.point.freq_mhz == 900
     )
     rates = analysis.level_upset_rates(label)
-    return {key: rates.get(f"{key[0]}/{key[1]}", 0.0) for key in PAPER}
+    return {key: rates.get(f"{key[0]}/{key[1]}", 0.0) for key in KEYS}
 
 
-def test_bench_fig7(benchmark, analysis, campaign):
+def test_bench_fig7(benchmark, analysis, campaign, conformance):
     rates = benchmark(_collect, analysis, campaign)
     print("\nFig. 7: upsets/min per level at 790 mV @ 900 MHz")
     for key, rate in rates.items():
         print(f"  {key[0]:>9}/{key[1]}: {rate:.3f}")
 
-    # Deep PMD undervolt: L1 and L2 rates well above their 920 mV
-    # values (paper: 2.7x and +50% respectively).
-    assert rates[("L1 Cache", "CE")] > 0.04
-    assert rates[("L2 Cache", "CE")] == pytest.approx(0.29, rel=0.35)
+    # Per-level counts gate against the paper's bars through the
+    # Poisson oracles in fig7.json (deep PMD undervolt lifting L1/L2,
+    # the 2.7x / +50% calls of Section 4.3 included).
+    conformance("fig7")
 
     # The L3 (SoC domain at nominal) does NOT rise above its Fig. 6
     # ceiling -- the voltage-domain split of Section 4.3.

@@ -1,15 +1,5 @@
 """Bench: Fig. 8 -- failure-category percentages per voltage (2.4 GHz)."""
 
-import pytest
-
-from repro.injection.events import OutcomeKind
-
-PAPER = {
-    980: {"AppCrash": 17.9, "SysCrash": 51.6, "SDC": 30.5},
-    930: {"AppCrash": 7.2, "SysCrash": 37.1, "SDC": 55.7},
-    920: {"AppCrash": 2.1, "SysCrash": 5.7, "SDC": 92.2},
-}
-
 
 def _collect(analysis, campaign):
     mixes = {}
@@ -22,7 +12,7 @@ def _collect(analysis, campaign):
     return mixes
 
 
-def test_bench_fig8(benchmark, analysis, campaign):
+def test_bench_fig8(benchmark, analysis, campaign, conformance):
     mixes = benchmark(_collect, analysis, campaign)
 
     print("\nFig. 8: failure mix per voltage (%)")
@@ -31,6 +21,10 @@ def test_bench_fig8(benchmark, analysis, campaign):
             f"  {mv} mV: "
             + ", ".join(f"{k} {v:5.1f}%" for k, v in mix.items())
         )
+
+    # Each panel's category shares sit inside the Wilson intervals
+    # around the paper's percentages (golden file fig8.json).
+    conformance("fig8")
 
     # SDC share rises monotonically as voltage drops; crash shares fall.
     assert mixes[980]["SDC"] < mixes[930]["SDC"] < mixes[920]["SDC"]
@@ -46,8 +40,3 @@ def test_bench_fig8(benchmark, analysis, campaign):
     # Observation #4: the SDC share at Vmin is ~3x the nominal share.
     ratio = mixes[920]["SDC"] / mixes[980]["SDC"]
     assert 2.0 < ratio < 4.5
-
-    # Each panel is within sampling distance of the paper's percentages.
-    for mv, mix in mixes.items():
-        for category, pct in mix.items():
-            assert pct == pytest.approx(PAPER[mv][category], abs=12.0)

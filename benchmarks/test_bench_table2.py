@@ -1,35 +1,19 @@
-"""Bench: regenerate Table 2 and check it against the paper's rows."""
-
-import pytest
-
-PAPER_FLUENCES = [1.49e11, 1.46e11, 4.08e10, 1.48e10]
-PAPER_UPSET_RATES = [1.011, 1.077, 1.117, 1.182]
-PAPER_FAILURES = [95, 97, 141, 13]
-PAPER_SER = [2.08, 2.22, 2.30, 2.45]
+"""Bench: regenerate Table 2 and check it against the golden registry."""
 
 
-def test_bench_table2(benchmark, analysis):
+def test_bench_table2(benchmark, analysis, conformance):
     table = benchmark(analysis.table2)
     print("\n" + table.render())
 
-    # Fluences are deterministic functions of the flown durations.
-    for ours, theirs in zip(table.column("Fluence (n/cm2)"), PAPER_FLUENCES):
-        assert ours == pytest.approx(theirs, rel=0.01)
+    # Fluences, counts, rates and SER all gate against the paper's rows
+    # through the golden file (table2.json): fluences deterministically
+    # at 1%, raw counts through Poisson intervals, rates and FIT/Mbit
+    # at the declared relative slack.
+    conformance("table2")
 
-    # Upset rates: same band, same upward trend.
+    # Upset rates keep the paper's upward trend toward Vmin.
     rates = table.column("Memory upsets rate (/min)")
-    for ours, theirs in zip(rates, PAPER_UPSET_RATES):
-        assert ours == pytest.approx(theirs, rel=0.15)
     assert rates[0] < rates[-1]
-
-    # Failure counts within Poisson distance of the paper's.
-    for ours, theirs in zip(table.column("SDCs and crashes (#)"), PAPER_FAILURES):
-        assert abs(ours - theirs) < 4 * max(theirs, 1) ** 0.5
-
-    # Memory SER in the paper's 2.08-2.45 FIT/Mbit band (25% slack for
-    # the differing Mbit accounting).
-    for ours, theirs in zip(table.column("Memory SER (FIT/Mbit)"), PAPER_SER):
-        assert ours == pytest.approx(theirs, rel=0.25)
 
     # Session 3 (Vmin) has by far the highest failure rate.
     failure_rates = table.column("SDCs and crashes rate (/min)")

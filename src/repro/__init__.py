@@ -89,6 +89,13 @@ from .telemetry import (
     console_summary,
 )
 from .soc import OperatingPoint, PowerModel, XGene2
+from .validate import (
+    ConformanceReport,
+    DifferentialRunner,
+    canonical_campaign_json,
+    default_registry,
+    run_suites,
+)
 from .workloads import SUITE_NAMES, make_suite, make_workload
 
 __version__ = "1.0.0"
@@ -136,5 +143,10 @@ __all__ = [
     "SUITE_NAMES",
     "make_suite",
     "make_workload",
+    "ConformanceReport",
+    "DifferentialRunner",
+    "canonical_campaign_json",
+    "default_registry",
+    "run_suites",
     "__version__",
 ]

@@ -35,10 +35,21 @@ Subcommands::
         Write the full markdown campaign report (REPORT.md).
 
     repro-campaign stats OUTDIR [--format console|json|prometheus]
-        Render a stored run's manifest and telemetry.
+        Render a stored run's manifest and telemetry.  Refuses (exit 1)
+        when the manifest's config hash disagrees with the checkpoint
+        journal's -- mixed-provenance results directories lie about
+        which configuration produced the numbers.
+
+    repro-campaign validate [--suite conformance|differential|statistical]
+                            [--seed N] [--time-scale X] [--out FILE]
+        Run the paper-conformance gates (repro.validate): golden-value
+        oracles, differential pairings, and seed-ladder statistical
+        checks.  Prints the gate report, writes it as JSON (default
+        conformance.json), and exits 4 if any gate fails.
 
 The separation mirrors real campaign practice: `run` burns (simulated)
-beam time once; `analyze`/`export`/`stats` are free and repeatable.
+beam time once; `analyze`/`export`/`stats`/`validate` are free and
+repeatable.
 """
 
 from __future__ import annotations
@@ -66,8 +77,9 @@ from .telemetry import (
 )
 
 #: Exit codes beyond the usual 0/1/2: a strict run with quarantined
-#: units, and an interrupted (resumable) run.
+#: units, failed validation gates, and an interrupted (resumable) run.
 EXIT_STRICT_FAILURES = 3
+EXIT_GATE_FAILURES = 4
 EXIT_INTERRUPTED = 143
 
 
@@ -323,6 +335,28 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     results = ResultsDirectory(args.outdir)
     manifest = results.load_manifest()
+    if results.has_journal():
+        # The manifest claims a configuration; the journal proves one.
+        # Disagreement means the directory mixes artifacts from
+        # different runs (e.g. a re-run under new settings that died
+        # before rewriting the manifest) -- any stats rendered from it
+        # would attribute one configuration's numbers to another.
+        from .resilient.journal import read_journal_header
+
+        header = read_journal_header(results.journal_path())
+        if header.config_hash != manifest.config_hash:
+            print(
+                f"error: {args.outdir!r} holds artifacts from different "
+                f"runs: manifest.json was written by config "
+                f"{manifest.config_hash[:12]} (seed={manifest.seed}, "
+                f"time_scale={manifest.time_scale}) but the checkpoint "
+                f"journal belongs to config {header.config_hash[:12]} "
+                f"(seed={header.seed}, time_scale={header.time_scale}); "
+                f"re-run with --fresh, or resume the journaled run to "
+                f"completion, before reading stats",
+                file=sys.stderr,
+            )
+            return 1
     if args.format == "json":
         print(manifest.to_json())
     elif args.format == "prometheus":
@@ -337,6 +371,31 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     else:
         print(console_summary(manifest=manifest))
     return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import json
+
+    from .validate import SUITES, run_suites
+
+    suites = list(args.suite) if args.suite else list(SUITES)
+    telemetry = Telemetry()
+    with telemetry.span("cli.validate"):
+        report = run_suites(
+            suites=suites,
+            seed=args.seed,
+            time_scale=args.time_scale,
+            telemetry=telemetry,
+        )
+    payload = report.to_dict()
+    payload["metrics"] = telemetry.metrics.to_dict()
+    payload["spans"] = telemetry.tracer.to_list()
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(report.render())
+    print(f"  wrote {args.out}")
+    return 0 if report.ok else EXIT_GATE_FAILURES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -431,6 +490,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: console)",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the paper-conformance, differential and statistical "
+        "gates (exit 4 on any failed gate)",
+    )
+    validate.add_argument(
+        "--suite",
+        action="append",
+        choices=["conformance", "differential", "statistical"],
+        help="suite to run (repeatable; default: all three)",
+    )
+    validate.add_argument("--seed", type=int, default=2023)
+    validate.add_argument("--time-scale", type=float, default=0.2)
+    validate.add_argument(
+        "--out",
+        default="conformance.json",
+        metavar="FILE",
+        help="where to write the JSON gate report "
+        "(default: conformance.json)",
+    )
+    validate.set_defaults(func=_cmd_validate)
     return parser
 
 

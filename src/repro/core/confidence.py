@@ -81,16 +81,20 @@ def poisson_rate_interval(
     return poisson_interval(count, level).scaled(1.0 / exposure)
 
 
-def binomial_interval(
-    successes: int, trials: int, level: float = CONFIDENCE_LEVEL
-) -> ConfidenceInterval:
-    """Wilson score interval for a binomial proportion."""
+def _check_binomial_args(successes: int, trials: int, level: float) -> None:
     if trials <= 0:
         raise AnalysisError("trials must be positive")
     if not 0 <= successes <= trials:
         raise AnalysisError("successes must be within [0, trials]")
     if not 0 < level < 1:
         raise AnalysisError("confidence level must be in (0, 1)")
+
+
+def binomial_interval(
+    successes: int, trials: int, level: float = CONFIDENCE_LEVEL
+) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion."""
+    _check_binomial_args(successes, trials, level)
     z = stats.norm.ppf(0.5 + level / 2.0)
     p = successes / trials
     denom = 1.0 + z * z / trials
@@ -105,3 +109,35 @@ def binomial_interval(
     lower = min(max(0.0, float(center - margin)), p)
     upper = max(min(1.0, float(center + margin)), p)
     return ConfidenceInterval(value=p, lower=lower, upper=upper, level=level)
+
+
+def clopper_pearson_interval(
+    successes: int, trials: int, level: float = CONFIDENCE_LEVEL
+) -> ConfidenceInterval:
+    """Exact (Clopper-Pearson) interval for a binomial proportion.
+
+    Conservative by construction -- coverage is always >= *level* --
+    which is the safe choice at the handful-of-events trial counts the
+    Figs. 12-13 splits produce (where Wilson can under-cover).
+
+    lower = Beta.ppf(alpha/2, k, n-k+1)        (0 when k = 0)
+    upper = Beta.ppf(1-alpha/2, k+1, n-k)      (1 when k = n)
+    """
+    _check_binomial_args(successes, trials, level)
+    alpha = 1.0 - level
+    p = successes / trials
+    if successes == 0:
+        lower = 0.0
+    else:
+        lower = float(
+            stats.beta.ppf(alpha / 2.0, successes, trials - successes + 1)
+        )
+    if successes == trials:
+        upper = 1.0
+    else:
+        upper = float(
+            stats.beta.ppf(1.0 - alpha / 2.0, successes + 1, trials - successes)
+        )
+    return ConfidenceInterval(
+        value=p, lower=min(lower, p), upper=max(upper, p), level=level
+    )

@@ -82,3 +82,13 @@ class CampaignInterrupted(ReproError):
 
 class LogbookError(ReproError):
     """A logbook entry used a kind outside the documented closed set."""
+
+
+class ValidationError(ReproError):
+    """A validate-subsystem misuse: bad gate parameters, malformed
+    golden files, or an unknown oracle/suite/pairing name.
+
+    Gate *failures* are not errors -- they are reported as
+    :class:`~repro.validate.GateResult` with ``ok=False``; this error
+    covers the cases where the validation itself cannot run.
+    """

@@ -38,6 +38,7 @@ from .journal import (
     JournalEntry,
     JournalHeader,
     LoadedJournal,
+    read_journal_header,
 )
 from .policy import (
     FailureClass,
@@ -59,6 +60,7 @@ __all__ = [
     "JournalEntry",
     "JournalHeader",
     "LoadedJournal",
+    "read_journal_header",
     "FailureClass",
     "SupervisionPolicy",
     "UnitTimeoutError",

@@ -132,6 +132,34 @@ class LoadedJournal:
     valid_end: int
 
 
+def read_journal_header(path: str) -> JournalHeader:
+    """Read only a journal's header line (no entry decoding).
+
+    The cheap integrity question -- "which campaign configuration wrote
+    these results?" -- should not require parsing megabytes of unit
+    payloads, so this reads exactly one line.
+    """
+    try:
+        with open(path, "rb") as handle:
+            first = handle.readline()
+    except FileNotFoundError:
+        raise ReproIOError(f"no journal at {path!r}") from None
+    except OSError as exc:
+        raise ReproIOError(f"cannot read journal {path!r}: {exc}") from exc
+    try:
+        record = json.loads(first)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ReproIOError(
+            f"journal {path!r} has no parseable header line "
+            f"(torn at creation?)"
+        ) from exc
+    if not isinstance(record, dict) or record.get("kind") != "header":
+        raise ReproIOError(
+            f"journal {path!r} does not start with a header record"
+        )
+    return JournalHeader.from_dict(record)
+
+
 class CampaignJournal:
     """Writer/reader of one results directory's checkpoint journal.
 

@@ -1,0 +1,593 @@
+"""The conformance, differential, and statistical validation suites.
+
+Three executable answers to "does this reproduce the paper?":
+
+* **conformance** -- re-measure every reproduced artifact (Table 1
+  geometry through Fig. 13's FIT split) and gate each number against
+  the golden registry (:mod:`repro.validate.oracles`) at its declared
+  tolerance.  Count-like measurements use scale-aware Poisson gates, so
+  the suite is meaningful at any ``time_scale``.
+* **differential** -- fly the paired configurations of
+  :class:`~repro.validate.differential.DifferentialRunner` and require
+  each pairing's agreement promise to hold.
+* **statistical** -- distribution-level checks over a seed ladder:
+  Garwood CIs must cover the calibrated model rates at the advertised
+  frequency, upset counts across seeds must pass a chi-square Poisson
+  dispersion test, and pooled outcome proportions must match the
+  calibrated mix model.
+
+Every suite returns a :class:`SuiteResult` of
+:class:`~repro.validate.gates.GateResult`; :func:`run_suites` bundles
+them into a :class:`ConformanceReport` (the ``conformance.json``
+payload of ``repro-campaign validate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.analysis import CampaignAnalysis
+from ..core.confidence import poisson_rate_interval
+from ..errors import ValidationError
+from ..injection.calibration import LevelRateModel, OutcomeMixModel
+from ..injection.events import OutcomeKind
+from ..soc.geometry import total_capacity_bits, xgene2_structures
+from ..telemetry import Telemetry
+from .differential import DifferentialRunner
+from .gates import (
+    GateResult,
+    SeedLadder,
+    interval_coverage_gate,
+    poisson_dispersion_gate,
+    proportion_gate,
+)
+from .oracles import OracleRegistry, default_registry
+
+#: Suite names, in report order.
+SUITES = ("conformance", "differential", "statistical")
+
+#: Default configuration for the campaign-backed suites.
+DEFAULT_SEED = 2023
+DEFAULT_TIME_SCALE = 0.2
+
+#: The statistical suite's defaults: a ladder of distinct seeds flown
+#: at a reduced scale (each rung is a full four-session campaign).
+STATISTICAL_SEEDS = (101, 102, 103, 104, 105)
+STATISTICAL_TIME_SCALE = 0.05
+
+
+@dataclass
+class SuiteResult:
+    """Verdict of one validation suite."""
+
+    suite: str
+    gates: List[GateResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(g.ok for g in self.gates)
+
+    @property
+    def failures(self) -> List[GateResult]:
+        return [g for g in self.gates if not g.ok]
+
+    def render(self) -> str:
+        verdict = "PASS" if self.ok else "FAIL"
+        lines = [
+            f"== {self.suite} suite: {verdict} "
+            f"({len(self.gates) - len(self.failures)}/{len(self.gates)} "
+            f"gates pass) =="
+        ]
+        lines.extend(g.render() for g in self.gates)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "ok": self.ok,
+            "gates": [g.to_dict() for g in self.gates],
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """The full ``repro-campaign validate`` result (conformance.json)."""
+
+    seed: int
+    time_scale: float
+    suites: List[SuiteResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.suites)
+
+    @property
+    def failures(self) -> List[GateResult]:
+        return [g for s in self.suites for g in s.failures]
+
+    def render(self) -> str:
+        lines = [s.render() for s in self.suites]
+        verdict = "PASS" if self.ok else "FAIL"
+        total = sum(len(s.gates) for s in self.suites)
+        failed = len(self.failures)
+        lines.append(
+            f"validation: {verdict} ({total - failed}/{total} gates pass, "
+            f"seed={self.seed}, time_scale={self.time_scale})"
+        )
+        if failed:
+            lines.append("failed gates:")
+            lines.extend(f"  {g.gate}" for g in self.failures)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "ok": self.ok,
+            "seed": self.seed,
+            "time_scale": self.time_scale,
+            "suites": [s.to_dict() for s in self.suites],
+        }
+
+
+# -- conformance measurements --------------------------------------------------
+#
+# One extractor per artifact.  Each returns (measured dict, count_scale):
+# the dict's keys match the artifact's golden oracles; count_scale is
+# the factor Poisson oracles multiply their full-length expected means
+# by (the flown time_scale for campaign counts, 1.0 for scale-invariant
+# artifacts).
+
+
+def _campaign_context(seed: int, time_scale: float):
+    from ..experiments.config import shared_campaign
+
+    campaign = shared_campaign(seed, time_scale)
+    return campaign, CampaignAnalysis(campaign)
+
+
+def _session_labels(campaign, freq_mhz: int) -> List[str]:
+    return [
+        label
+        for label in campaign.labels()
+        if campaign.session(label).plan.point.freq_mhz == freq_mhz
+    ]
+
+
+def _measure_table1(seed: int, time_scale: float) -> Tuple[dict, float]:
+    specs = xgene2_structures()
+    capacity: Dict[str, int] = {}
+    protection: Dict[str, str] = {}
+    interleave: Dict[str, int] = {}
+    for spec in specs:
+        level = spec.level.value
+        capacity[level] = capacity.get(level, 0) + spec.capacity_bits
+        protection[level] = spec.protection.value
+        interleave[level] = spec.interleave
+    return (
+        {
+            "capacity_bits": capacity,
+            "protection": protection,
+            "interleave": interleave,
+            "total_capacity_bits": total_capacity_bits(specs),
+        },
+        1.0,
+    )
+
+
+def _measure_table2(seed: int, time_scale: float) -> Tuple[dict, float]:
+    campaign, analysis = _campaign_context(seed, time_scale)
+    labels = campaign.labels()
+    sessions = [campaign.session(label) for label in labels]
+    # session3 stops on its (scaled) failure target, so its duration --
+    # and with it fluence and raw counts -- is itself a random variable;
+    # its conformance lives in the scale-invariant rate gates, while the
+    # fixed-duration sessions (1, 2, 4) also gate raw counts.
+    fixed = [s for s in sessions if s.plan.target_failures is None]
+    measured = {
+        "voltages_mv": [s.plan.point.pmd_mv for s in sessions],
+        "upsets_fixed": [s.upset_count for s in fixed],
+        "failures_fixed": [s.failure_count for s in fixed],
+        "upset_rates": [
+            analysis.upset_rate(label).per_minute for label in labels
+        ],
+        "failure_rates": [s.failure_rate_per_min for s in sessions],
+        "failure_rate_session3": next(
+            s.failure_rate_per_min
+            for s in sessions
+            if s.plan.target_failures is not None
+        ),
+        "ser_fit_per_mbit": [
+            analysis.memory_ser(label) for label in labels
+        ],
+        "fluences_fixed": [
+            s.fluence.fluence_per_cm2 / time_scale for s in fixed
+        ],
+        "fluence_session3": next(
+            s.fluence.fluence_per_cm2 / time_scale
+            for s in sessions
+            if s.plan.target_failures is not None
+        ),
+    }
+    return measured, time_scale
+
+
+def _measure_table3(seed: int, time_scale: float) -> Tuple[dict, float]:
+    from ..experiments import table3
+
+    series = table3.run().series
+    return {"points": [list(p) for p in series["points"]]}, 1.0
+
+
+def _measure_fig4(seed: int, time_scale: float) -> Tuple[dict, float]:
+    from ..experiments import fig4
+
+    series = fig4.run(seed=seed).series
+    return (
+        {
+            "safe_vmin_mv": {
+                str(freq): vmin
+                for freq, vmin in series["safe_vmin_mv"].items()
+            },
+            "guardbands_mv": {
+                str(freq): gb for freq, gb in series["guardbands_mv"].items()
+            },
+        },
+        1.0,
+    )
+
+
+def _measure_fig5(seed: int, time_scale: float) -> Tuple[dict, float]:
+    campaign, analysis = _campaign_context(seed, time_scale)
+    labels = _session_labels(campaign, 2400)
+    totals = [analysis.upset_rate(label).per_minute for label in labels]
+    return {"total_rates": totals}, time_scale
+
+
+def _level_counts(session) -> Dict[str, int]:
+    # Start every Fig. 6/7 bar at zero: a session short enough to
+    # observe no events of some (level, severity) still has a count --
+    # 0 is inside any Poisson acceptance band with a small scaled mean.
+    from ..experiments.fig6 import LEVEL_ORDER
+
+    counts = {f"{level}/{severity}": 0 for level, severity in LEVEL_ORDER}
+    for (level, severity), count in session.upsets.counts.items():
+        counts[f"{level.value}/{severity.value}"] = count
+    return counts
+
+
+def _measure_fig6(seed: int, time_scale: float) -> Tuple[dict, float]:
+    campaign, _ = _campaign_context(seed, time_scale)
+    labels = _session_labels(campaign, 2400)
+    per_session = [
+        _level_counts(campaign.session(label)) for label in labels
+    ]
+    measured = {
+        "counts": {
+            key: [counts[key] for counts in per_session]
+            for key in per_session[0]
+        }
+    }
+    return measured, time_scale
+
+
+def _measure_fig7(seed: int, time_scale: float) -> Tuple[dict, float]:
+    campaign, _ = _campaign_context(seed, time_scale)
+    label = _session_labels(campaign, 900)[0]
+    return {"counts": _level_counts(campaign.session(label))}, time_scale
+
+
+def _measure_fig8(seed: int, time_scale: float) -> Tuple[dict, float]:
+    campaign, _ = _campaign_context(seed, time_scale)
+    mixes: Dict[str, Dict[str, List[int]]] = {}
+    sdc_share_920 = 0.0
+    for label in _session_labels(campaign, 2400):
+        session = campaign.session(label)
+        counts = session.failure_counts()
+        total = sum(counts.values())
+        voltage = session.plan.point.pmd_mv
+        mixes[str(voltage)] = {
+            kind.value: [count, total] for kind, count in counts.items()
+        }
+        if voltage == 920 and total:
+            sdc_share_920 = counts.get(OutcomeKind.SDC, 0) / total
+    return {"mixes": mixes, "sdc_share_920": sdc_share_920}, time_scale
+
+
+def _measure_fig9(seed: int, time_scale: float) -> Tuple[dict, float]:
+    from ..experiments import fig9
+
+    series = fig9.run().series
+    return (
+        {
+            "power_watts": series["power_watts"],
+            "upsets_per_min": series["upsets_per_min"],
+        },
+        1.0,
+    )
+
+
+def _measure_fig10(seed: int, time_scale: float) -> Tuple[dict, float]:
+    from ..experiments import fig10
+
+    series = fig10.run().series
+    return (
+        {
+            "power_savings_pct": series["power_savings_pct"],
+            "susceptibility_increase_pct": series[
+                "susceptibility_increase_pct"
+            ],
+            "outpaced": series["outpaced"],
+        },
+        1.0,
+    )
+
+
+def _measure_fig11(seed: int, time_scale: float) -> Tuple[dict, float]:
+    campaign, analysis = _campaign_context(seed, time_scale)
+    labels = _session_labels(campaign, 2400)
+    total_fit = {
+        str(campaign.session(label).plan.point.pmd_mv): analysis.total_fit(
+            label
+        ).fit
+        for label in labels
+    }
+    sdc_fit_920 = analysis.category_fit(labels[-1], OutcomeKind.SDC).fit
+    return (
+        {
+            "total_fit": total_fit,
+            "sdc_fit_920": sdc_fit_920,
+            "sdc_increase_x": analysis.sdc_fit_increase(
+                labels[-1], labels[0]
+            ),
+            "total_increase_x": analysis.total_fit_increase(
+                labels[-1], labels[0]
+            ),
+        },
+        time_scale,
+    )
+
+
+def _measure_fig12(seed: int, time_scale: float) -> Tuple[dict, float]:
+    campaign, analysis = _campaign_context(seed, time_scale)
+    split: Dict[str, Dict[str, float]] = {}
+    for label in _session_labels(campaign, 2400):
+        fits = analysis.sdc_fit_by_notification(label)
+        split[str(campaign.session(label).plan.point.pmd_mv)] = {
+            "without": fits["without_notification"].fit,
+            "with": fits["with_notification"].fit,
+        }
+    return {"sdc_fit_920_without": split["920"]["without"]}, time_scale
+
+
+def _measure_fig13(seed: int, time_scale: float) -> Tuple[dict, float]:
+    campaign, analysis = _campaign_context(seed, time_scale)
+    label = _session_labels(campaign, 900)[0]
+    session = campaign.session(label)
+    sdcs = session.failures_of_kind(OutcomeKind.SDC)
+    notified = sum(1 for f in sdcs if f.hw_notified)
+    return (
+        {"notified_split": [notified, max(len(sdcs), 1)]},
+        time_scale,
+    )
+
+
+#: Artifact id -> measurement extractor.
+MEASUREMENTS: Dict[str, Callable[[int, float], Tuple[dict, float]]] = {
+    "table1": _measure_table1,
+    "table2": _measure_table2,
+    "table3": _measure_table3,
+    "fig4": _measure_fig4,
+    "fig5": _measure_fig5,
+    "fig6": _measure_fig6,
+    "fig7": _measure_fig7,
+    "fig8": _measure_fig8,
+    "fig9": _measure_fig9,
+    "fig10": _measure_fig10,
+    "fig11": _measure_fig11,
+    "fig12": _measure_fig12,
+    "fig13": _measure_fig13,
+}
+
+
+def run_conformance(
+    seed: int = DEFAULT_SEED,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    artifacts: Optional[List[str]] = None,
+    registry: Optional[OracleRegistry] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> SuiteResult:
+    """Measure the selected artifacts and gate them against the registry."""
+    registry = registry or default_registry()
+    selected = artifacts if artifacts is not None else registry.artifacts()
+    unknown = [a for a in selected if a not in MEASUREMENTS]
+    if unknown:
+        raise ValidationError(
+            f"no measurement extractor for {unknown}; "
+            f"known: {sorted(MEASUREMENTS)}"
+        )
+    result = SuiteResult(suite="conformance")
+    for artifact in selected:
+        if telemetry is not None:
+            with telemetry.span("validate.measure", artifact=artifact):
+                measured, scale = MEASUREMENTS[artifact](seed, time_scale)
+        else:
+            measured, scale = MEASUREMENTS[artifact](seed, time_scale)
+        gates = registry.check(artifact, measured, scale=scale)
+        result.gates.extend(gates)
+        if telemetry is not None:
+            telemetry.count("validate.gates", n=len(gates))
+    return result
+
+
+def run_differential(
+    seed: int = DEFAULT_SEED,
+    time_scale: float = 0.01,
+    pairings: Optional[List[str]] = None,
+    workdir: Optional[str] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> SuiteResult:
+    """Fly the paired configurations and collect their agreement gates."""
+    runner = DifferentialRunner(
+        seed=seed, time_scale=time_scale, workdir=workdir
+    )
+    result = SuiteResult(suite="differential")
+    for name in pairings if pairings is not None else runner.pairings():
+        if telemetry is not None:
+            with telemetry.span("validate.pairing", pairing=name):
+                report = runner.run(name)
+        else:
+            report = runner.run(name)
+        result.gates.extend(report.gates)
+        # Field diffs are localization detail, folded into the gate's
+        # detail line so the rendered report names the drifted paths.
+        if report.field_diffs and result.gates:
+            drifted = ", ".join(d.path for d in report.field_diffs[:3])
+            last = result.gates[-1]
+            result.gates[-1] = GateResult(
+                gate=last.gate,
+                ok=last.ok,
+                measured=last.measured,
+                expected=last.expected,
+                detail=f"{last.detail}; drifted: {drifted}",
+            )
+        if telemetry is not None:
+            telemetry.count("validate.pairings", pairing=name)
+    return result
+
+
+def run_statistical(
+    seeds: Optional[Tuple[int, ...]] = None,
+    time_scale: float = STATISTICAL_TIME_SCALE,
+    required: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> SuiteResult:
+    """Distribution-level gates over a ladder of seeds.
+
+    Each rung flies the four-session campaign at *time_scale*; the
+    gates then assert:
+
+    * every session's Garwood 95 % CI on the upset rate covers the
+      calibrated :class:`LevelRateModel` expectation -- pooled over
+      rungs with one coverage miss tolerated per ~20 checks (the CI's
+      own advertised miss rate);
+    * session upset counts across rungs are Poisson-dispersed
+      (chi-square, both tails);
+    * the pooled SDC share at Vmin matches the calibrated
+      :class:`OutcomeMixModel` proportion (exact Clopper-Pearson).
+    """
+    from ..experiments.config import shared_campaign
+
+    seeds = tuple(seeds) if seeds is not None else STATISTICAL_SEEDS
+    ladder = SeedLadder(seeds, required=max(1, len(seeds) - 1))
+    rate_model = LevelRateModel()
+    mix_model = OutcomeMixModel()
+
+    campaigns = {}
+
+    def campaign_for(seed: int):
+        if seed not in campaigns:
+            if telemetry is not None:
+                with telemetry.span("validate.rung", seed=seed):
+                    campaigns[seed] = shared_campaign(seed, time_scale)
+            else:
+                campaigns[seed] = shared_campaign(seed, time_scale)
+        return campaigns[seed]
+
+    result = SuiteResult(suite="statistical")
+
+    def ci_coverage_trial(seed: int) -> Tuple[int, int]:
+        campaign = campaign_for(seed)
+        hits, total = 0, 0
+        for label in campaign.labels():
+            session = campaign.session(label)
+            point = session.plan.point
+            expected = rate_model.total_rate_per_min(
+                point.pmd_mv, point.soc_mv, session.plan.flux_per_cm2_s
+            )
+            interval = poisson_rate_interval(
+                session.upset_count, session.duration_minutes
+            )
+            gate = interval_coverage_gate(
+                f"statistical/ci/{seed}/{label}", interval, expected
+            )
+            hits += int(gate.ok)
+            total += 1
+        return hits, total
+
+    checks = len(seeds) * 4
+    result.gates.append(
+        ladder.run_counting(
+            "statistical/upset_ci_coverage",
+            ci_coverage_trial,
+            required_hits=checks - max(1, checks // 10),
+        )
+    )
+
+    counts_by_label: Dict[str, List[int]] = {}
+    sdc_hits, sdc_total = 0, 0
+    for seed in seeds:
+        campaign = campaign_for(seed)
+        for label in campaign.labels():
+            session = campaign.session(label)
+            if session.plan.target_failures is None:
+                counts_by_label.setdefault(label, []).append(
+                    session.upset_count
+                )
+            if session.plan.point.pmd_mv == 920:
+                counts = session.failure_counts()
+                sdc_hits += counts.get(OutcomeKind.SDC, 0)
+                sdc_total += sum(counts.values())
+
+    for label, counts in sorted(counts_by_label.items()):
+        result.gates.append(
+            poisson_dispersion_gate(
+                f"statistical/dispersion/{label}", counts
+            )
+        )
+
+    expected_rates = mix_model.rates_per_min(2400, 920)
+    expected_sdc = expected_rates["SDC"] / sum(expected_rates.values())
+    result.gates.append(
+        proportion_gate(
+            "statistical/sdc_share_vmin",
+            sdc_hits,
+            sdc_total,
+            expected_sdc,
+            level=0.999,
+            method="clopper-pearson",
+        )
+    )
+    if telemetry is not None:
+        telemetry.count("validate.gates", n=len(result.gates))
+    return result
+
+
+def run_suites(
+    suites: Optional[List[str]] = None,
+    seed: int = DEFAULT_SEED,
+    time_scale: float = DEFAULT_TIME_SCALE,
+    telemetry: Optional[Telemetry] = None,
+) -> ConformanceReport:
+    """Run the named suites (default: all three) into one report."""
+    selected = list(suites) if suites is not None else list(SUITES)
+    unknown = [s for s in selected if s not in SUITES]
+    if unknown:
+        raise ValidationError(
+            f"unknown suite(s) {unknown}; choose from {list(SUITES)}"
+        )
+    report = ConformanceReport(seed=seed, time_scale=time_scale)
+    for suite in selected:
+        if suite == "conformance":
+            report.suites.append(
+                run_conformance(
+                    seed=seed, time_scale=time_scale, telemetry=telemetry
+                )
+            )
+        elif suite == "differential":
+            report.suites.append(
+                run_differential(seed=seed, telemetry=telemetry)
+            )
+        else:
+            report.suites.append(run_statistical(telemetry=telemetry))
+    return report

@@ -1,0 +1,322 @@
+"""Differential testing: paired configurations that must agree.
+
+The engine, telemetry, and resilience layers each promise some flavour
+of "this knob does not change the physics":
+
+``executor``
+    ``SerialExecutor`` vs ``ParallelExecutor(4)`` -- byte-identical
+    campaigns (the engine's headline guarantee).
+``telemetry``
+    Telemetry off vs on -- byte-identical campaigns (observation is
+    inert).
+``resume``
+    An uninterrupted ``ResilientCampaign`` vs one crashed after two
+    journaled units and resumed -- byte-identical ``campaign.json``.
+``injector``
+    Vectorized vs scalar injection.  These deliberately consume their
+    RNG streams differently (one draw layout per path), so the promise
+    is *statistical*, not byte: both sample the same calibrated
+    distributions, checked with Poisson same-distribution gates on
+    per-session upset and failure counts.
+
+:class:`DifferentialRunner` flies each pairing from one seed and diffs
+the results.  Byte pairings that disagree are decoded and diffed
+field-by-field (:func:`diff_encoded`), so the report names the exact
+JSON paths that drifted instead of "bytes differ".
+
+This module is also the shared home of :func:`canonical_campaign_json`,
+the canonical serialized form that the engine/telemetry/chaos test
+suites previously each re-implemented inline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..engine import ExecutionContext, ParallelExecutor, SerialExecutor
+from ..errors import ValidationError
+from ..harness.campaign import Campaign, CampaignResult
+from ..io.json_store import campaign_to_dict
+from ..io.results_dir import ResultsDirectory
+from ..resilient import (
+    ChaosSpec,
+    ResilientCampaign,
+    SimulatedCrash,
+    SupervisionPolicy,
+)
+from ..telemetry import Telemetry
+from .gates import GateResult, poisson_pair_gate
+
+#: Pairing names, in report order.
+PAIRINGS = ("executor", "telemetry", "injector", "resume")
+
+#: Maximum leaf diffs a report keeps per pairing (enough to localize a
+#: divergence without dumping two whole campaigns).
+MAX_FIELD_DIFFS = 10
+
+
+def canonical_campaign_json(campaign: CampaignResult) -> str:
+    """The canonical byte form of a campaign: sorted-key JSON.
+
+    Every byte-identity promise in the repo (serial == parallel,
+    telemetry inert, resumed == uninterrupted) is stated over this
+    serialization -- it captures every upset, failure, EDAC record and
+    run outcome.
+    """
+    return json.dumps(campaign_to_dict(campaign), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class FieldDiff:
+    """One leaf where two paired results disagree."""
+
+    path: str
+    a: str
+    b: str
+
+    def render(self) -> str:
+        return f"  {self.path}: {self.a} != {self.b}"
+
+
+def diff_encoded(a: object, b: object, path: str = "$") -> List[FieldDiff]:
+    """Field-by-field diff of two JSON-able trees (depth-first).
+
+    Returns at most :data:`MAX_FIELD_DIFFS` leaf differences; a type or
+    shape mismatch is reported at the node where it occurs.
+    """
+    diffs: List[FieldDiff] = []
+    _walk_diff(a, b, path, diffs)
+    return diffs
+
+
+def _walk_diff(a, b, path, diffs: List[FieldDiff]) -> None:
+    if len(diffs) >= MAX_FIELD_DIFFS:
+        return
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                diffs.append(FieldDiff(f"{path}.{key}", "<absent>", _short(b[key])))
+            elif key not in b:
+                diffs.append(FieldDiff(f"{path}.{key}", _short(a[key]), "<absent>"))
+            else:
+                _walk_diff(a[key], b[key], f"{path}.{key}", diffs)
+            if len(diffs) >= MAX_FIELD_DIFFS:
+                return
+        return
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            diffs.append(
+                FieldDiff(path, f"list[{len(a)}]", f"list[{len(b)}]")
+            )
+            return
+        for index, (x, y) in enumerate(zip(a, b)):
+            _walk_diff(x, y, f"{path}[{index}]", diffs)
+            if len(diffs) >= MAX_FIELD_DIFFS:
+                return
+        return
+    if a != b:
+        diffs.append(FieldDiff(path, _short(a), _short(b)))
+
+
+def _short(value: object) -> str:
+    text = json.dumps(value, sort_keys=True) if not isinstance(value, str) else value
+    return text if len(text) <= 48 else text[:45] + "..."
+
+
+@dataclass
+class DiffReport:
+    """Verdict of one pairing: its gates plus any localized field diffs."""
+
+    pairing: str
+    gates: List[GateResult] = field(default_factory=list)
+    field_diffs: List[FieldDiff] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(g.ok for g in self.gates)
+
+    def render(self) -> str:
+        lines = [g.render() for g in self.gates]
+        lines.extend(d.render() for d in self.field_diffs)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "pairing": self.pairing,
+            "ok": self.ok,
+            "gates": [g.to_dict() for g in self.gates],
+            "field_diffs": [
+                {"path": d.path, "a": d.a, "b": d.b} for d in self.field_diffs
+            ],
+        }
+
+
+class DifferentialRunner:
+    """Flies the paired configurations and diffs their results.
+
+    Parameters
+    ----------
+    seed / time_scale:
+        The single configuration every pairing flies (both sides of a
+        pair always share them).
+    workdir:
+        Where the ``resume`` pairing keeps its journaled runs; a
+        temporary directory is created (and reused across pairings)
+        when omitted.
+    """
+
+    def __init__(
+        self,
+        seed: int = 2023,
+        time_scale: float = 0.01,
+        workdir: Optional[str] = None,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValidationError("time_scale must be positive")
+        self.seed = int(seed)
+        self.time_scale = float(time_scale)
+        self._workdir = workdir
+        self._pairings: Dict[str, Callable[[], DiffReport]] = {
+            "executor": self._pair_executor,
+            "telemetry": self._pair_telemetry,
+            "injector": self._pair_injector,
+            "resume": self._pair_resume,
+        }
+
+    def pairings(self) -> List[str]:
+        """Pairing names, in report order."""
+        return [name for name in PAIRINGS if name in self._pairings]
+
+    def run(self, pairing: str) -> DiffReport:
+        """Fly one pairing and diff it."""
+        if pairing not in self._pairings:
+            raise ValidationError(
+                f"unknown pairing {pairing!r}; choose from {self.pairings()}"
+            )
+        return self._pairings[pairing]()
+
+    def run_all(self, names: Optional[List[str]] = None) -> List[DiffReport]:
+        """Fly the named pairings (default: all) in report order."""
+        selected = names if names is not None else self.pairings()
+        return [self.run(name) for name in selected]
+
+    # -- pairing implementations -------------------------------------------------
+
+    def _fly(self, executor=None, telemetry=None) -> CampaignResult:
+        context = ExecutionContext(
+            seed=self.seed, time_scale=self.time_scale, telemetry=telemetry
+        )
+        return Campaign(context=context, executor=executor).run()
+
+    def _byte_report(self, pairing, label_a, a, label_b, b) -> DiffReport:
+        bytes_a = canonical_campaign_json(a)
+        bytes_b = canonical_campaign_json(b)
+        ok = bytes_a == bytes_b
+        report = DiffReport(
+            pairing=pairing,
+            gates=[
+                GateResult(
+                    gate=f"differential/{pairing}",
+                    ok=ok,
+                    measured=f"{len(bytes_a)} vs {len(bytes_b)} bytes",
+                    expected="byte-identical campaigns",
+                    detail=f"{label_a} vs {label_b}, canonical JSON",
+                )
+            ],
+        )
+        if not ok:
+            report.field_diffs = diff_encoded(
+                json.loads(bytes_a), json.loads(bytes_b)
+            )
+        return report
+
+    def _pair_executor(self) -> DiffReport:
+        serial = self._fly(executor=SerialExecutor())
+        parallel = self._fly(executor=ParallelExecutor(4))
+        return self._byte_report(
+            "executor", "serial", serial, "parallel(4)", parallel
+        )
+
+    def _pair_telemetry(self) -> DiffReport:
+        silent = self._fly()
+        observed = self._fly(telemetry=Telemetry())
+        return self._byte_report(
+            "telemetry", "telemetry off", silent, "telemetry on", observed
+        )
+
+    def _pair_injector(self) -> DiffReport:
+        # The scalar and vectorized injectors consume their streams in
+        # different draw layouts, so identical bytes are impossible by
+        # design; the promise is that both sample the same calibrated
+        # distributions.
+        context = ExecutionContext(seed=self.seed, time_scale=self.time_scale)
+        vectorized = Campaign(context=context, vectorized=True).run()
+        scalar = Campaign(context=context, vectorized=False).run()
+        report = DiffReport(pairing="injector")
+        for label in vectorized.labels():
+            a, b = vectorized.session(label), scalar.session(label)
+            report.gates.append(
+                poisson_pair_gate(
+                    f"differential/injector/{label}/upsets",
+                    a.upset_count,
+                    b.upset_count,
+                )
+            )
+            report.gates.append(
+                poisson_pair_gate(
+                    f"differential/injector/{label}/failures",
+                    a.failure_count,
+                    b.failure_count,
+                )
+            )
+        return report
+
+    def _pair_resume(self) -> DiffReport:
+        workdir = self._workdir or tempfile.mkdtemp(prefix="repro-diff-")
+        policy = SupervisionPolicy(backoff_s=0.0)
+
+        def flight(name, chaos=None, resume=False):
+            results = ResultsDirectory(os.path.join(workdir, name))
+            runner = ResilientCampaign(
+                context=ExecutionContext(
+                    seed=self.seed, time_scale=self.time_scale
+                ),
+                policy=policy,
+                chaos=chaos,
+                fsync="never",
+            )
+            report = runner.run(results, resume=resume)
+            report.persist(results)
+            path = os.path.join(workdir, name, "campaign.json")
+            with open(path, "rb") as handle:
+                return handle.read()
+
+        fresh_bytes = flight("fresh")
+        try:
+            flight("resumed", chaos=ChaosSpec(crash_after_units=2))
+        except SimulatedCrash:
+            pass  # the deliberate mid-campaign crash
+        resumed_bytes = flight("resumed", resume=True)
+
+        ok = fresh_bytes == resumed_bytes
+        report = DiffReport(
+            pairing="resume",
+            gates=[
+                GateResult(
+                    gate="differential/resume",
+                    ok=ok,
+                    measured=f"{len(fresh_bytes)} vs {len(resumed_bytes)} bytes",
+                    expected="byte-identical campaign.json",
+                    detail="uninterrupted vs crash-after-2-units + resume",
+                )
+            ],
+        )
+        if not ok:
+            report.field_diffs = diff_encoded(
+                json.loads(fresh_bytes), json.loads(resumed_bytes)
+            )
+        return report

@@ -1,0 +1,384 @@
+"""The oracle registry: golden paper values with declared tolerances.
+
+Every number the conformance suite checks against the MICRO '23 paper
+lives in a versioned JSON file under ``validate/golden/`` -- one file
+per artifact (``table1.json`` ... ``fig13.json``), each entry carrying
+the expected value, an explicit tolerance, and a provenance note
+saying where in the paper the number comes from and why the tolerance
+is what it is.  Checks in benchmarks and in the conformance suite load
+these files through :class:`OracleRegistry` instead of hard-coding
+expectations, so "does this reproduce the paper?" has a single,
+reviewable source of truth.
+
+Tolerance kinds:
+
+``exact``
+    Bit-for-bit equality (geometry, operating points, safe Vmin).
+``rel`` / ``abs``
+    Relative / absolute numeric tolerance (rates, FIT values, powers).
+``range``
+    An explicit ``[lo, hi]`` acceptance band (headline multipliers).
+``poisson``
+    The measured value is an event *count*; accept iff it falls in the
+    central Poisson interval around the expected mean (scaled by the
+    flown ``time_scale``), per :func:`~repro.validate.gates
+    .poisson_count_gate`.  The tolerance value is the tail mass
+    ``epsilon``.
+``wilson``
+    The measured value is a ``[successes, trials]`` pair; accept iff
+    the expected proportion lies in the measured Wilson interval.  The
+    tolerance value is the confidence level.
+
+Expected values may be scalars, lists (checked element-wise) or
+string-keyed objects (checked key-wise); every leaf comparison yields
+one :class:`~repro.validate.gates.GateResult` named
+``artifact/key[index]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional
+
+from ..errors import ValidationError
+from .gates import GateResult, poisson_count_gate, proportion_gate
+
+GOLDEN_SCHEMA = 1
+
+#: Directory holding the versioned golden files.
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+_TOLERANCE_KINDS = ("exact", "rel", "abs", "range", "poisson", "wilson")
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """How far a measurement may stray from its golden value."""
+
+    kind: str
+    value: float = 0.0
+    lo: float = 0.0
+    hi: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TOLERANCE_KINDS:
+            raise ValidationError(
+                f"unknown tolerance kind {self.kind!r}; "
+                f"choose from {_TOLERANCE_KINDS}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Tolerance":
+        if not isinstance(data, dict) or len(data) != 1:
+            raise ValidationError(
+                f"tolerance must be a single-key object, got {data!r}"
+            )
+        kind, value = next(iter(data.items()))
+        if kind == "range":
+            if (
+                not isinstance(value, (list, tuple))
+                or len(value) != 2
+                or value[0] > value[1]
+            ):
+                raise ValidationError(
+                    f"range tolerance needs [lo, hi], got {value!r}"
+                )
+            return cls(kind=kind, lo=float(value[0]), hi=float(value[1]))
+        if kind == "exact":
+            return cls(kind=kind)
+        return cls(kind=kind, value=float(value))
+
+    def to_dict(self) -> dict:
+        if self.kind == "range":
+            return {"range": [self.lo, self.hi]}
+        if self.kind == "exact":
+            return {"exact": True}
+        return {self.kind: self.value}
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One golden value: artifact key, expectation, tolerance, provenance."""
+
+    artifact: str
+    key: str
+    expected: object
+    tolerance: Tolerance
+    provenance: str = ""
+
+    def check(self, measured: object, scale: float = 1.0) -> List[GateResult]:
+        """Compare *measured* against the golden value, leaf by leaf.
+
+        *scale* is the flown ``time_scale`` for count-like (``poisson``)
+        oracles: golden counts are in paper units, measured counts in
+        flown units, so the expected mean is scaled before gating.
+        Scale-invariant kinds ignore it.
+        """
+        return list(self._walk(self.key, self.expected, measured, scale))
+
+    def _walk(self, path, expected, measured, scale):
+        name = f"{self.artifact}/{path}"
+        if self.tolerance.kind == "wilson" and _is_pair(measured):
+            yield self._leaf(name, expected, measured, scale)
+            return
+        if isinstance(expected, dict):
+            if not isinstance(measured, dict):
+                yield GateResult(
+                    gate=name,
+                    ok=False,
+                    measured=_fmt(measured),
+                    expected="an object",
+                    detail="measured value is not key-addressable",
+                )
+                return
+            for key, sub in expected.items():
+                if key not in measured:
+                    yield GateResult(
+                        gate=f"{name}.{key}",
+                        ok=False,
+                        measured="missing",
+                        expected=_fmt(sub),
+                        detail="measured object lacks this key",
+                    )
+                    continue
+                yield from self._walk(
+                    f"{path}.{key}", sub, measured[key], scale
+                )
+            return
+        if isinstance(expected, (list, tuple)):
+            if not isinstance(measured, (list, tuple)) or len(measured) != len(
+                expected
+            ):
+                yield GateResult(
+                    gate=name,
+                    ok=False,
+                    measured=_fmt(measured),
+                    expected=f"sequence of {len(expected)}",
+                    detail="measured sequence length mismatch",
+                )
+                return
+            for index, (sub, m) in enumerate(zip(expected, measured)):
+                yield from self._walk(f"{path}[{index}]", sub, m, scale)
+            return
+        yield self._leaf(name, expected, measured, scale)
+
+    def _leaf(self, name, expected, measured, scale) -> GateResult:
+        tol = self.tolerance
+        if tol.kind == "exact":
+            return GateResult(
+                gate=name,
+                ok=measured == expected
+                or (_both_numeric(measured, expected)
+                    and float(measured) == float(expected)),
+                measured=_fmt(measured),
+                expected=_fmt(expected),
+                detail="exact",
+            )
+        if tol.kind == "poisson":
+            if not _is_count(measured):
+                return self._type_failure(name, expected, measured, "a count")
+            return poisson_count_gate(
+                name,
+                int(measured),
+                float(expected) * scale,
+                epsilon=tol.value,
+            )
+        if tol.kind == "wilson":
+            if not _is_pair(measured):
+                return self._type_failure(
+                    name, expected, measured, "[successes, trials]"
+                )
+            successes, trials = int(measured[0]), int(measured[1])
+            if trials == 0:
+                return GateResult(
+                    gate=name,
+                    ok=False,
+                    measured="0 trials",
+                    expected=_fmt(expected),
+                    detail="no events to form a proportion",
+                )
+            return proportion_gate(
+                name, successes, trials, float(expected), level=tol.value
+            )
+        if not _both_numeric(measured, expected):
+            return self._type_failure(name, expected, measured, "a number")
+        m, e = float(measured), float(expected)
+        if tol.kind == "rel":
+            ok = abs(m - e) <= tol.value * abs(e)
+            detail = f"rel tol {tol.value:g}"
+        elif tol.kind == "abs":
+            ok = abs(m - e) <= tol.value
+            detail = f"abs tol {tol.value:g}"
+        else:  # range
+            ok = tol.lo <= m <= tol.hi
+            detail = f"range [{tol.lo:g}, {tol.hi:g}]"
+        return GateResult(
+            gate=name, ok=ok, measured=_fmt(m), expected=_fmt(e), detail=detail
+        )
+
+    def _type_failure(self, name, expected, measured, wanted) -> GateResult:
+        return GateResult(
+            gate=name,
+            ok=False,
+            measured=_fmt(measured),
+            expected=_fmt(expected),
+            detail=f"measured value is not {wanted}",
+        )
+
+
+@dataclass
+class ArtifactOracles:
+    """All golden values of one paper artifact."""
+
+    artifact: str
+    title: str = ""
+    provenance: str = ""
+    oracles: Dict[str, Oracle] = field(default_factory=dict)
+
+    def check(
+        self, measured: Dict[str, object], scale: float = 1.0
+    ) -> List[GateResult]:
+        """Gate every measured key that has an oracle (extras ignored)."""
+        results: List[GateResult] = []
+        for key, oracle in self.oracles.items():
+            if key not in measured:
+                results.append(
+                    GateResult(
+                        gate=f"{self.artifact}/{key}",
+                        ok=False,
+                        measured="missing",
+                        expected=_fmt(oracle.expected),
+                        detail="extractor produced no measurement",
+                    )
+                )
+                continue
+            results.extend(oracle.check(measured[key], scale=scale))
+        return results
+
+
+class OracleRegistry:
+    """Loads and serves the golden files under ``validate/golden/``."""
+
+    def __init__(self, golden_dir: Optional[str] = None) -> None:
+        self.golden_dir = golden_dir or GOLDEN_DIR
+        self._artifacts: Dict[str, ArtifactOracles] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not os.path.isdir(self.golden_dir):
+            raise ValidationError(
+                f"golden directory {self.golden_dir!r} does not exist"
+            )
+        for filename in sorted(os.listdir(self.golden_dir)):
+            if not filename.endswith(".json"):
+                continue
+            path = os.path.join(self.golden_dir, filename)
+            with open(path) as handle:
+                try:
+                    data = json.load(handle)
+                except ValueError as exc:
+                    raise ValidationError(
+                        f"golden file {path!r} is not valid JSON: {exc}"
+                    ) from exc
+            self._add_artifact(path, data)
+
+    def _add_artifact(self, path: str, data: dict) -> None:
+        if data.get("schema") != GOLDEN_SCHEMA:
+            raise ValidationError(
+                f"golden file {path!r} has schema {data.get('schema')!r} "
+                f"(expected {GOLDEN_SCHEMA})"
+            )
+        artifact = data.get("artifact")
+        if not artifact:
+            raise ValidationError(f"golden file {path!r} names no artifact")
+        if artifact in self._artifacts:
+            raise ValidationError(
+                f"golden file {path!r} redefines artifact {artifact!r}"
+            )
+        entry = ArtifactOracles(
+            artifact=artifact,
+            title=data.get("title", ""),
+            provenance=data.get("provenance", ""),
+        )
+        for key, spec in data.get("oracles", {}).items():
+            if "expected" not in spec or "tol" not in spec:
+                raise ValidationError(
+                    f"golden file {path!r}, oracle {key!r}: needs "
+                    f"'expected' and 'tol'"
+                )
+            entry.oracles[key] = Oracle(
+                artifact=artifact,
+                key=key,
+                expected=spec["expected"],
+                tolerance=Tolerance.from_dict(spec["tol"]),
+                provenance=spec.get("provenance", ""),
+            )
+        self._artifacts[artifact] = entry
+
+    def artifacts(self) -> List[str]:
+        """Artifact ids with golden values, sorted."""
+        return sorted(self._artifacts)
+
+    def artifact(self, artifact_id: str) -> ArtifactOracles:
+        """All oracles of one artifact."""
+        if artifact_id not in self._artifacts:
+            raise ValidationError(
+                f"no golden values for artifact {artifact_id!r}; "
+                f"known: {self.artifacts()}"
+            )
+        return self._artifacts[artifact_id]
+
+    def oracle(self, artifact_id: str, key: str) -> Oracle:
+        """One oracle by (artifact, key)."""
+        entry = self.artifact(artifact_id)
+        if key not in entry.oracles:
+            raise ValidationError(
+                f"artifact {artifact_id!r} has no oracle {key!r}; "
+                f"known: {sorted(entry.oracles)}"
+            )
+        return entry.oracles[key]
+
+    def expected(self, artifact_id: str, key: str) -> object:
+        """The golden expected value (for benches that print/compare)."""
+        return self.oracle(artifact_id, key).expected
+
+    def check(
+        self,
+        artifact_id: str,
+        measured: Dict[str, object],
+        scale: float = 1.0,
+    ) -> List[GateResult]:
+        """Gate a measured dict against one artifact's oracles."""
+        return self.artifact(artifact_id).check(measured, scale=scale)
+
+
+@lru_cache(maxsize=1)
+def default_registry() -> OracleRegistry:
+    """The package's own golden registry (loaded once per process)."""
+    return OracleRegistry()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    text = repr(value)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _both_numeric(a: object, b: object) -> bool:
+    return isinstance(a, (int, float)) and isinstance(b, (int, float))
+
+
+def _is_count(value: object) -> bool:
+    return isinstance(value, (int, float)) and float(value) >= 0
+
+
+def _is_pair(value: object) -> bool:
+    return (
+        isinstance(value, (list, tuple))
+        and len(value) == 2
+        and all(isinstance(v, (int, float)) for v in value)
+    )

@@ -6,8 +6,6 @@ flown by ``ParallelExecutor`` is *byte-identical* to one flown by
 which captures every upset, failure, EDAC record and run outcome.
 """
 
-import json
-
 import pytest
 
 from repro import Campaign, ExecutionContext, ParallelExecutor, SerialExecutor
@@ -16,14 +14,10 @@ from repro.engine import ParallelExecutor as EngineParallel
 from repro.harness.logbook import Logbook
 from repro.harness.vmin import characterize_all
 from repro.injection.microarch import MicroarchInjector
-from repro.io.json_store import campaign_to_dict
+from repro.validate import canonical_campaign_json as _canonical
 
 #: Small but non-trivial: every session still realizes upsets/failures.
 SCALE = 0.01
-
-
-def _canonical(campaign) -> str:
-    return json.dumps(campaign_to_dict(campaign), sort_keys=True)
 
 
 @pytest.fixture(scope="module")

@@ -97,12 +97,28 @@ class TestFig6Fig7Drivers:
         # In expectation the deep-undervolt PMD session upsets the L2
         # more (0.30 vs 0.19/min), but at this module's scale session4
         # realizes only a handful of L2 events, so a strict ordering
-        # assert fails for ~25% of seeds.  Allow Poisson slack here; the
+        # assert fails for ~25% of seeds -- and a single seed picked to
+        # pass is just a lucky draw.  The seed ladder asserts the
+        # Poisson-slackened ordering at 4 of 5 rungs instead; the
         # strict expectation-level ordering is pinned deterministically
         # in the calibration tests.
-        fig6_l2 = run("fig6").series["rates"][("L2 Cache", "CE")][-1]
-        fig7_l2 = run("fig7").series["rates"][("L2 Cache", "CE")]
-        assert fig7_l2 > 0.6 * fig6_l2
+        from repro.validate import SeedLadder
+
+        def check(seed):
+            fig6_l2 = run_experiment(
+                "fig6", seed=seed, time_scale=SCALE
+            ).series["rates"][("L2 Cache", "CE")][-1]
+            fig7_l2 = run_experiment(
+                "fig7", seed=seed, time_scale=SCALE
+            ).series["rates"][("L2 Cache", "CE")]
+            return (
+                fig7_l2 > 0.6 * fig6_l2,
+                f"fig7 L2 {fig7_l2:.3f}/min vs fig6 L2 {fig6_l2:.3f}/min",
+            )
+
+        ladder = SeedLadder((SEED, 211, 212, 213, 214), required=4)
+        result = ladder.run("drivers/fig7_vs_fig6_l2", check)
+        assert result.ok, result.to_gate().render()
 
 
 class TestFig8Driver:
@@ -113,10 +129,20 @@ class TestFig8Driver:
 
 class TestFig9Fig10Drivers:
     def test_fig9_matches_paper(self):
+        # The paper's power/rate values live in the golden registry;
+        # the driver's deterministic series must pass its gates.
+        from repro.validate import default_registry
+
         series = run("fig9").series
-        paper_power = [20.40, 18.63, 18.15, 10.59]
-        for ours, theirs in zip(series["power_watts"], paper_power):
-            assert ours == pytest.approx(theirs, abs=0.15)
+        gates = default_registry().check(
+            "fig9",
+            {
+                "power_watts": series["power_watts"],
+                "upsets_per_min": series["upsets_per_min"],
+            },
+        )
+        failed = [g for g in gates if not g.ok]
+        assert not failed, "\n".join(g.render() for g in failed)
 
     def test_fig10_shape(self):
         series = run("fig10").series

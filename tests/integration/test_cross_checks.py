@@ -13,9 +13,10 @@ from repro.io import campaign_from_dict, campaign_to_dict
 
 @pytest.fixture(scope="module")
 def campaign():
-    # Seed re-pinned when the injector hot path was vectorized (draw
-    # sequences changed; the bracket cross-check needs all four 95% CIs
-    # to cover their expectations, which ~1 in 5 seeds misses).
+    # Any seed works: every check against this fixture is a
+    # deterministic cross-view invariant (counts summing, reports
+    # quoting analysis numbers), not a statistical claim.  Statistical
+    # claims go through the seed ladder below instead of a pinned seed.
     return Campaign(seed=32, time_scale=0.2).run()
 
 
@@ -79,17 +80,38 @@ class TestReportConsistency:
 
 
 class TestModelConsistency:
-    def test_measured_rates_bracket_model_expectations(self, analysis):
+    def test_measured_rates_bracket_model_expectations(self):
+        # A single campaign misses one of its four 95% CIs for ~1 in 5
+        # seeds -- PR 1 papered over that with a hand-picked seed.  The
+        # ladder pools the coverage events instead: 20 checks over 5
+        # seeds, tolerating the CI's own advertised miss rate.
+        from repro.experiments.config import shared_campaign
+        from repro.validate import SeedLadder
+
         model = LevelRateModel()
-        expectations = {
-            "session1": model.total_rate_per_min(980, 950),
-            "session2": model.total_rate_per_min(930, 925),
-            "session3": model.total_rate_per_min(920, 920),
-            "session4": model.total_rate_per_min(790, 950),
-        }
-        for label, expected in expectations.items():
-            rate = analysis.upset_rate(label)
-            assert rate.interval.lower <= expected <= rate.interval.upper
+
+        def trial(seed):
+            campaign = shared_campaign(seed, 0.05)
+            analysis = CampaignAnalysis(campaign)
+            hits, total = 0, 0
+            for label in campaign.labels():
+                session = campaign.session(label)
+                point = session.plan.point
+                expected = model.total_rate_per_min(
+                    point.pmd_mv, point.soc_mv, session.plan.flux_per_cm2_s
+                )
+                rate = analysis.upset_rate(label)
+                hits += int(
+                    rate.interval.lower <= expected <= rate.interval.upper
+                )
+                total += 1
+            return hits, total
+
+        ladder = SeedLadder((101, 102, 103, 104, 105), required=4)
+        gate = ladder.run_counting(
+            "cross_checks/rate_bracket", trial, required_hits=18
+        )
+        assert gate.ok, gate.render()
 
     def test_csv_export_matches_table(self, analysis):
         table = analysis.table2()

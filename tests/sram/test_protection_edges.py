@@ -1,0 +1,143 @@
+"""SEC-DED codec edge cases: the boundaries where correct, detect, and
+miscorrect meet.
+
+The paper's Section 6.2 pathology -- triple-bit strikes aliasing to a
+single-bit syndrome and getting silently *mis*corrected -- plus the
+degenerate data patterns (all-zero, all-one) where check bits are
+maximally regular, exercised exhaustively at a small word size and
+spot-checked at the shipped (72,64) geometry.
+"""
+
+import itertools
+
+import pytest
+
+from repro.sram.protection import (
+    DecodeStatus,
+    ParityCodec,
+    SecdedCodec,
+    flips_from_bit_indices,
+)
+
+WORDS_64 = [
+    0,
+    (1 << 64) - 1,
+    0xDEADBEEF_CAFEF00D,
+    0xAAAAAAAA_55555555,
+]
+
+
+class TestSecdedSingleVsDouble:
+    """The detect-vs-correct classification boundary, exhaustively."""
+
+    def test_every_single_flip_corrected_small_codec(self):
+        codec = SecdedCodec(data_bits=8)
+        for data in (0x00, 0xFF, 0xA5):
+            for bit in range(codec.word_bits):
+                result = codec.classify(data, 1 << bit)
+                assert result.status == DecodeStatus.CORRECTED
+                assert result.data == data
+
+    def test_every_double_flip_detected_small_codec(self):
+        # SECDED's defining promise: no 2-bit error is ever corrected
+        # (or worse, miscorrected) -- all 78 pairs of a (13,8) word.
+        codec = SecdedCodec(data_bits=8)
+        for data in (0x00, 0xFF, 0xA5):
+            for pair in itertools.combinations(range(codec.word_bits), 2):
+                result = codec.classify(data, flips_from_bit_indices(pair))
+                assert (
+                    result.status == DecodeStatus.DETECTED_UNCORRECTABLE
+                ), f"pair {pair} on {data:#x}: {result.status}"
+
+    @pytest.mark.parametrize("data", WORDS_64)
+    def test_shipped_geometry_singles_and_doubles(self, data):
+        codec = SecdedCodec(data_bits=64)
+        assert codec.word_bits == 72
+        for bit in (0, 1, 2, 36, 71):
+            assert (
+                codec.classify(data, 1 << bit).status
+                == DecodeStatus.CORRECTED
+            )
+        for pair in ((1, 2), (0, 71), (3, 36), (70, 71)):
+            assert (
+                codec.classify(data, flips_from_bit_indices(pair)).status
+                == DecodeStatus.DETECTED_UNCORRECTABLE
+            )
+
+    def test_overall_parity_bit_flip_is_the_boundary_case(self):
+        # Syndrome 0 + wrong overall parity: the check bit itself
+        # flipped; data must come back intact, counted as corrected.
+        codec = SecdedCodec(data_bits=64)
+        for data in WORDS_64:
+            result = codec.classify(data, 1 << 0)
+            assert result.status == DecodeStatus.CORRECTED
+            assert result.data == data
+
+
+class TestSecdedTripleMiscorrection:
+    """Beyond the design distance: triples may silently miscorrect."""
+
+    def _triple_outcomes(self, codec, data, limit_bits):
+        outcomes = {status: 0 for status in DecodeStatus}
+        for triple in itertools.combinations(range(limit_bits), 3):
+            result = codec.classify(data, flips_from_bit_indices(triple))
+            outcomes[result.status] += 1
+            if result.status == DecodeStatus.SILENT:
+                # Miscorrection: the consumer got wrong data with no
+                # error signal -- the paper's SDC mechanism in the L3.
+                assert result.data != data
+            elif result.status == DecodeStatus.CORRECTED:
+                # A "corrected" verdict is only acceptable when the
+                # data really survived (e.g. all three flips landed in
+                # check bits); wrong data must surface as SILENT.
+                assert result.data == data
+        return outcomes
+
+    def test_triples_miscorrect_exhaustive_small_codec(self):
+        codec = SecdedCodec(data_bits=8)
+        outcomes = self._triple_outcomes(codec, 0xA5, codec.word_bits)
+        # An odd flip count always reads as "single-bit error" to the
+        # extended Hamming decoder (overall parity is odd), so *no*
+        # triple is ever detected: nearly all miscorrect silently, and
+        # the rare harmless ones land entirely in check bits.
+        assert outcomes[DecodeStatus.DETECTED_UNCORRECTABLE] == 0
+        assert outcomes[DecodeStatus.SILENT] > outcomes[DecodeStatus.CORRECTED]
+
+    def test_triples_miscorrect_shipped_geometry(self):
+        codec = SecdedCodec(data_bits=64)
+        outcomes = self._triple_outcomes(codec, 0xDEADBEEF, 16)
+        assert outcomes[DecodeStatus.SILENT] > 0
+
+    def test_all_zero_and_all_one_words_not_special(self):
+        # Degenerate data patterns make the check bits maximally
+        # regular; the miscorrection pathology must still appear.
+        codec = SecdedCodec(data_bits=8)
+        for data in (0x00, 0xFF):
+            outcomes = self._triple_outcomes(codec, data, codec.word_bits)
+            assert outcomes[DecodeStatus.SILENT] > 0
+
+
+class TestParityEdges:
+    def test_all_zero_all_one_single_strikes_detected(self):
+        codec = ParityCodec(32)
+        for data in (0, (1 << 32) - 1):
+            for bit in (0, 15, 31, 32):  # includes the parity bit
+                result = codec.classify(data, 1 << bit)
+                assert (
+                    result.status == DecodeStatus.DETECTED_UNCORRECTABLE
+                )
+
+    def test_even_flip_counts_are_silent_or_clean(self):
+        # Parity is blind to even flip counts: two data flips pass the
+        # check with corrupted data (SILENT); a data+parity pair that
+        # cancels inside the check bit leaves the data intact.
+        codec = ParityCodec(32)
+        result = codec.classify(0, flips_from_bit_indices((3, 17)))
+        assert result.status == DecodeStatus.SILENT
+        assert result.data != 0
+
+    def test_refetch_semantics_flag(self):
+        # Parity arrays invalidate + refetch on detection; SECDED
+        # arrays hold dirty data.  The flag drives severity accounting.
+        assert ParityCodec(32).refetch_on_detect is True
+        assert SecdedCodec(64).refetch_on_detect is False

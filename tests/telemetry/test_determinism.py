@@ -10,20 +10,14 @@
    are identical to the serial ones.
 """
 
-import json
-
 import pytest
 
 from repro import Campaign, ExecutionContext, ParallelExecutor, SerialExecutor
-from repro.io.json_store import campaign_to_dict
 from repro.telemetry import Telemetry
+from repro.validate import canonical_campaign_json as _canonical
 
 #: Small but non-trivial: every session still realizes upsets/failures.
 SCALE = 0.01
-
-
-def _canonical(campaign) -> str:
-    return json.dumps(campaign_to_dict(campaign), sort_keys=True)
 
 
 def _run(telemetry=None, executor=None):

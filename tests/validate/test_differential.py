@@ -1,0 +1,107 @@
+"""The differential harness: paired configurations that must agree."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validate import (
+    DifferentialRunner,
+    canonical_campaign_json,
+    diff_encoded,
+)
+from repro.validate.differential import MAX_FIELD_DIFFS, PAIRINGS
+
+SEED = 2023
+SCALE = 0.005
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    workdir = str(tmp_path_factory.mktemp("differential"))
+    return DifferentialRunner(seed=SEED, time_scale=SCALE, workdir=workdir)
+
+
+class TestCanonicalJson:
+    def test_repeatable_and_sorted(self):
+        from repro import Campaign
+
+        campaign = Campaign(seed=3, time_scale=0.002).run()
+        once = canonical_campaign_json(campaign)
+        again = canonical_campaign_json(campaign)
+        assert once == again
+        # Sorted keys: deterministic byte layout.
+        assert once.index('"schema"') < once.index('"sessions"')
+        assert once.index('"sessions"') < once.index('"sram_bits"')
+
+
+class TestDiffEncoded:
+    def test_equal_trees_have_no_diffs(self):
+        assert diff_encoded({"a": [1, {"b": 2}]}, {"a": [1, {"b": 2}]}) == []
+
+    def test_leaf_difference_named_by_path(self):
+        diffs = diff_encoded({"a": {"b": [1, 2]}}, {"a": {"b": [1, 3]}})
+        assert len(diffs) == 1
+        assert diffs[0].path == "$.a.b[1]"
+
+    def test_missing_key_reported(self):
+        diffs = diff_encoded({"a": 1}, {})
+        assert diffs[0].a != "<absent>" and diffs[0].b == "<absent>"
+
+    def test_length_mismatch_reported_at_node(self):
+        diffs = diff_encoded([1, 2, 3], [1, 2])
+        assert diffs[0].a == "list[3]"
+
+    def test_diff_count_capped(self):
+        a = {str(i): i for i in range(50)}
+        b = {str(i): i + 1 for i in range(50)}
+        assert len(diff_encoded(a, b)) == MAX_FIELD_DIFFS
+
+
+class TestPairings:
+    def test_pairing_order_and_names(self, runner):
+        assert tuple(runner.pairings()) == PAIRINGS
+
+    def test_unknown_pairing_rejected(self, runner):
+        with pytest.raises(ValidationError):
+            runner.run("quantum")
+
+    def test_executor_pairing_byte_identical(self, runner):
+        report = runner.run("executor")
+        assert report.ok, report.render()
+        assert report.field_diffs == []
+
+    def test_telemetry_pairing_byte_identical(self, runner):
+        report = runner.run("telemetry")
+        assert report.ok, report.render()
+
+    def test_injector_pairing_statistically_consistent(self, runner):
+        report = runner.run("injector")
+        assert report.ok, report.render()
+        # One upset and one failure gate per session -- a statistical
+        # comparison, never a byte one (draw layouts legitimately differ).
+        assert len(report.gates) == 8
+        assert all("injector" in g.gate for g in report.gates)
+
+    def test_resume_pairing_byte_identical(self, runner):
+        report = runner.run("resume")
+        assert report.ok, report.render()
+
+    def test_divergence_is_localized_not_just_detected(self, runner):
+        # Different seeds = deliberately different campaigns: the diff
+        # must name the JSON paths that drifted, not merely fail.
+        from repro import Campaign
+        import json
+
+        a = Campaign(seed=1, time_scale=0.002).run()
+        b = Campaign(seed=2, time_scale=0.002).run()
+        report = runner._byte_report(
+            "executor", "seed 1", a, "seed 2", b
+        )
+        assert not report.ok
+        assert report.field_diffs
+        assert all(d.path.startswith("$") for d in report.field_diffs)
+        # The diff survives a JSON round trip (it is report material).
+        assert json.dumps(report.to_dict())
+
+    def test_invalid_time_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            DifferentialRunner(time_scale=0.0)

@@ -1,0 +1,205 @@
+"""The golden-value registry: loading, validation, and leaf checks."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.validate import (
+    Oracle,
+    OracleRegistry,
+    Tolerance,
+    default_registry,
+)
+from repro.validate.conformance import MEASUREMENTS
+
+
+def _write_golden(directory, artifact, oracles, schema=1):
+    path = os.path.join(directory, f"{artifact}.json")
+    with open(path, "w") as handle:
+        json.dump(
+            {"schema": schema, "artifact": artifact, "oracles": oracles},
+            handle,
+        )
+    return path
+
+
+class TestTolerance:
+    def test_kinds_parse(self):
+        assert Tolerance.from_dict({"rel": 0.1}).value == 0.1
+        assert Tolerance.from_dict({"exact": True}).kind == "exact"
+        tol = Tolerance.from_dict({"range": [1, 2]})
+        assert (tol.lo, tol.hi) == (1.0, 2.0)
+
+    def test_round_trip(self):
+        for spec in ({"rel": 0.1}, {"exact": True}, {"range": [1.0, 2.0]}):
+            assert Tolerance.from_dict(spec).to_dict() == spec
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValidationError):
+            Tolerance.from_dict({"rel": 0.1, "abs": 0.2})
+        with pytest.raises(ValidationError):
+            Tolerance.from_dict({"sigma": 3})
+        with pytest.raises(ValidationError):
+            Tolerance.from_dict({"range": [2, 1]})
+        with pytest.raises(ValidationError):
+            Tolerance.from_dict({"range": [1]})
+
+
+class TestOracleCheck:
+    def _oracle(self, expected, tol):
+        return Oracle(
+            artifact="t",
+            key="k",
+            expected=expected,
+            tolerance=Tolerance.from_dict(tol),
+        )
+
+    def test_exact_scalar(self):
+        oracle = self._oracle(920, {"exact": True})
+        assert oracle.check(920)[0].ok
+        assert not oracle.check(921)[0].ok
+
+    def test_rel_and_abs(self):
+        assert self._oracle(100.0, {"rel": 0.1}).check(109.0)[0].ok
+        assert not self._oracle(100.0, {"rel": 0.1}).check(112.0)[0].ok
+        assert self._oracle(100.0, {"abs": 5.0}).check(104.0)[0].ok
+
+    def test_range(self):
+        oracle = self._oracle(16.3, {"range": [5, 40]})
+        assert oracle.check(39.0)[0].ok
+        assert not oracle.check(41.0)[0].ok
+
+    def test_poisson_scale_aware(self):
+        # Golden count 1000 flown at time_scale 0.1: the acceptance
+        # interval forms around 100, not 1000.
+        oracle = self._oracle(1000, {"poisson": 1e-5})
+        assert oracle.check(95, scale=0.1)[0].ok
+        assert not oracle.check(1000, scale=0.1)[0].ok
+
+    def test_wilson_pair(self):
+        oracle = self._oracle(0.3, {"wilson": 0.99})
+        assert oracle.check([30, 100])[0].ok
+        assert not oracle.check([90, 100])[0].ok
+        # Zero trials cannot support any proportion claim.
+        assert not oracle.check([0, 0])[0].ok
+
+    def test_list_checked_elementwise_with_indices(self):
+        oracle = self._oracle([1, 2, 3], {"exact": True})
+        gates = oracle.check([1, 9, 3])
+        assert [g.ok for g in gates] == [True, False, True]
+        assert gates[1].gate == "t/k[1]"
+
+    def test_dict_checked_keywise(self):
+        oracle = self._oracle({"a": 1, "b": 2}, {"exact": True})
+        gates = oracle.check({"a": 1, "b": 5})
+        assert {g.gate: g.ok for g in gates} == {
+            "t/k.a": True,
+            "t/k.b": False,
+        }
+
+    def test_missing_key_is_a_failure(self):
+        oracle = self._oracle({"a": 1}, {"exact": True})
+        gates = oracle.check({})
+        assert len(gates) == 1 and not gates[0].ok
+        assert gates[0].measured == "missing"
+
+    def test_length_mismatch_is_a_failure(self):
+        oracle = self._oracle([1, 2], {"exact": True})
+        gates = oracle.check([1])
+        assert len(gates) == 1 and not gates[0].ok
+
+    def test_type_confusion_fails_not_raises(self):
+        assert not self._oracle(5.0, {"rel": 0.1}).check("five")[0].ok
+        assert not self._oracle(10, {"poisson": 1e-5}).check(-3)[0].ok
+        assert not self._oracle(0.5, {"wilson": 0.95}).check(0.5)[0].ok
+
+
+class TestRegistryLoading:
+    def test_loads_from_directory(self, tmp_path):
+        _write_golden(
+            tmp_path, "t1", {"x": {"expected": 1, "tol": {"exact": True}}}
+        )
+        registry = OracleRegistry(str(tmp_path))
+        assert registry.artifacts() == ["t1"]
+        assert registry.expected("t1", "x") == 1
+        assert registry.check("t1", {"x": 1})[0].ok
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ValidationError):
+            OracleRegistry(str(tmp_path / "nope"))
+
+    def test_bad_schema_rejected(self, tmp_path):
+        _write_golden(
+            tmp_path,
+            "t1",
+            {"x": {"expected": 1, "tol": {"exact": True}}},
+            schema=99,
+        )
+        with pytest.raises(ValidationError, match="schema"):
+            OracleRegistry(str(tmp_path))
+
+    def test_unparseable_json_rejected(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{not json")
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            OracleRegistry(str(tmp_path))
+
+    def test_duplicate_artifact_rejected(self, tmp_path):
+        _write_golden(
+            tmp_path, "dup", {"x": {"expected": 1, "tol": {"exact": True}}}
+        )
+        # Same artifact id under a different filename.
+        path = os.path.join(str(tmp_path), "zz.json")
+        with open(path, "w") as handle:
+            json.dump(
+                {
+                    "schema": 1,
+                    "artifact": "dup",
+                    "oracles": {
+                        "y": {"expected": 2, "tol": {"exact": True}}
+                    },
+                },
+                handle,
+            )
+        with pytest.raises(ValidationError, match="redefines"):
+            OracleRegistry(str(tmp_path))
+
+    def test_oracle_without_tol_rejected(self, tmp_path):
+        _write_golden(tmp_path, "t1", {"x": {"expected": 1}})
+        with pytest.raises(ValidationError, match="'expected' and 'tol'"):
+            OracleRegistry(str(tmp_path))
+
+    def test_unknown_artifact_lookup_raises(self, tmp_path):
+        _write_golden(
+            tmp_path, "t1", {"x": {"expected": 1, "tol": {"exact": True}}}
+        )
+        registry = OracleRegistry(str(tmp_path))
+        with pytest.raises(ValidationError):
+            registry.check("t2", {})
+        with pytest.raises(ValidationError):
+            registry.oracle("t1", "y")
+
+
+class TestShippedGolden:
+    def test_covers_every_paper_artifact(self):
+        registry = default_registry()
+        assert registry.artifacts() == sorted(MEASUREMENTS)
+
+    def test_every_oracle_documents_provenance(self):
+        # The registry is the reviewable source of truth: a number
+        # without a provenance note is just another magic constant.
+        registry = default_registry()
+        for artifact_id in registry.artifacts():
+            entry = registry.artifact(artifact_id)
+            assert entry.provenance, f"{artifact_id} has no provenance"
+            for key, oracle in entry.oracles.items():
+                assert oracle.provenance, (
+                    f"{artifact_id}/{key} has no provenance"
+                )
+
+    def test_table1_geometry_is_exact(self):
+        registry = default_registry()
+        oracle = registry.oracle("table1", "total_capacity_bits")
+        assert oracle.tolerance.kind == "exact"
+        assert oracle.expected == 80236544
