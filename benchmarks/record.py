@@ -1,0 +1,182 @@
+"""Append benchmark measurements to the committed BENCH_*.json files.
+
+The benches under ``benchmarks/`` assert *bounds* in-test; this script
+records the *numbers*, so the perf trajectory is tracked across PRs
+instead of living only in transient CI logs::
+
+    PYTHONPATH=src python benchmarks/record.py            # all suites
+    PYTHONPATH=src python benchmarks/record.py scheduler  # one suite
+
+Each suite appends one record -- timestamp, git revision, python
+version, metric dict -- to ``BENCH_<suite>.json`` at the repo root:
+
+.. code-block:: json
+
+    {"schema": 1, "suite": "scheduler", "records": [
+        {"recorded_unix": 0.0, "git": "abc123", "metrics": {...}}
+    ]}
+
+Metrics are medians over a few repetitions of the same measurements the
+benches time, at deliberately small scales: the point is a comparable
+number per PR, not a rigorous microbenchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from typing import Callable, Dict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(1, REPO_ROOT)  # for `benchmarks.*` imports
+
+REPEATS = 5
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    """Median wall seconds of *fn* over REPEATS runs (1 warmup)."""
+    fn()
+    samples = []
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+# -- suites ------------------------------------------------------------------
+
+
+def measure_engine() -> Dict[str, float]:
+    import numpy as np
+
+    from repro import Campaign
+    from repro.injection.injector import BeamInjector
+    from repro.soc.xgene2 import XGene2
+
+    hours = 5.0
+
+    def expose(vectorized: bool) -> Callable[[], object]:
+        injector = BeamInjector(XGene2(), vectorized=vectorized)
+        return lambda: injector.expose(
+            hours * 3600.0, np.random.default_rng(2023)
+        )
+
+    vectorized_s = _timed(expose(True))
+    scalar_s = _timed(expose(False))
+    campaign_s = _timed(lambda: Campaign(seed=2023, time_scale=0.02).run())
+    return {
+        "injector_vectorized_s": vectorized_s,
+        "injector_scalar_s": scalar_s,
+        "injector_speedup_x": scalar_s / vectorized_s,
+        "campaign_scale_0.02_s": campaign_s,
+    }
+
+
+def measure_scheduler() -> Dict[str, float]:
+    from benchmarks.test_bench_scheduler import UNITS, _noop, _plan
+
+    from repro.engine import SerialExecutor
+    from repro.scheduler import Broker
+
+    def cycle() -> None:
+        broker = Broker()
+        broker.submit(_plan())
+        while True:
+            leases = broker.lease("record", limit=32)
+            if not leases:
+                return
+            for lease in leases:
+                broker.complete(lease, lease.seq)
+
+    def drained() -> None:
+        broker = Broker()
+        broker.submit(_plan())
+        broker.drain(SerialExecutor())
+
+    cycle_s = _timed(cycle)
+    drain_s = _timed(drained)
+    direct_s = _timed(lambda: [_noop(i) for i in range(UNITS)])
+    return {
+        "units": float(UNITS),
+        "submit_lease_complete_us_per_unit": cycle_s / UNITS * 1e6,
+        "drain_serial_us_per_unit": drain_s / UNITS * 1e6,
+        "drain_overhead_us_per_unit": (drain_s - direct_s) / UNITS * 1e6,
+    }
+
+
+SUITES: Dict[str, Callable[[], Dict[str, float]]] = {
+    "engine": measure_engine,
+    "scheduler": measure_scheduler,
+}
+
+
+# -- the appender ------------------------------------------------------------
+
+
+def _git_revision() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def append_record(suite: str, metrics: Dict[str, float]) -> str:
+    path = os.path.join(REPO_ROOT, f"BENCH_{suite}.json")
+    document = {"schema": 1, "suite": suite, "records": []}
+    if os.path.exists(path):
+        with open(path) as handle:
+            document = json.load(handle)
+    document["records"].append(
+        {
+            "recorded_unix": round(time.time(), 3),
+            "git": _git_revision(),
+            "python": platform.python_version(),
+            "metrics": {key: round(value, 4) for key, value in metrics.items()},
+        }
+    )
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "suites",
+        nargs="*",
+        choices=[*SUITES, "all"],
+        default=["all"],
+        help="which BENCH files to append to (default: all)",
+    )
+    args = parser.parse_args(argv)
+    picked = SUITES if "all" in args.suites else args.suites
+    for suite in picked:
+        metrics = SUITES[suite]()
+        path = append_record(suite, metrics)
+        print(f"{suite}: appended to {os.path.relpath(path, REPO_ROOT)}")
+        for key, value in metrics.items():
+            print(f"  {key} = {value:.4f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,30 @@ Subcommands::
         checks.  Prints the gate report, writes it as JSON (default
         conformance.json), and exits 4 if any gate fails.
 
+    repro-campaign serve ROOT [--workers N] [--capacity N] [--lease-ttl S]
+                              [--http PORT] [--idle-exit S]
+        Run a campaign service on ROOT: watch ROOT/jobs for dropped
+        spec files (and optionally a local HTTP port), lease units
+        from the bounded priority queue to a supervised worker pool,
+        and assemble each finished submission under
+        ROOT/results/<submission>/ -- byte-identical to a plain `run`
+        of the same spec.  Two `serve` processes on one ROOT shard the
+        queue; a killed one's leases expire and are picked up.
+        SIGTERM drains in-flight leases, flushes the scheduling
+        journal, and exits 143 with a resume hint.
+
+    repro-campaign submit ROOT [--spec FILE | --seed N --time-scale X
+                               --priority P --name NAME] [--wait [S]]
+        Queue one campaign spec (job file drop, or --url for HTTP).
+        Submissions dedupe on the config hash; a full queue is refused
+        with exit 5 (SchedulerBusy) and nothing enqueued.
+
+    repro-campaign status ROOT [--json]
+        Show the serving broker's queue/submission snapshot.
+
+    repro-campaign cancel ROOT SUBMISSION
+        Drop a submission's queued units (in-flight ones finish).
+
 The separation mirrors real campaign practice: `run` burns (simulated)
 beam time once; `analyze`/`export`/`stats`/`validate` are free and
 repeatable.
@@ -64,7 +88,7 @@ from . import __version__
 from .core.analysis import CampaignAnalysis
 from .core.report import Table
 from .engine import ExecutionContext
-from .errors import CampaignInterrupted, ReproError
+from .errors import CampaignInterrupted, ReproError, SchedulerBusy
 from .harness.campaign import CampaignResult
 from .injection.events import OutcomeKind
 from .io.results_dir import ResultsDirectory
@@ -77,9 +101,11 @@ from .telemetry import (
 )
 
 #: Exit codes beyond the usual 0/1/2: a strict run with quarantined
-#: units, failed validation gates, and an interrupted (resumable) run.
+#: units, failed validation gates, a submission refused by a full
+#: scheduler queue, and an interrupted (resumable) run.
 EXIT_STRICT_FAILURES = 3
 EXIT_GATE_FAILURES = 4
+EXIT_SCHEDULER_BUSY = 5
 EXIT_INTERRUPTED = 143
 
 
@@ -398,6 +424,231 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else EXIT_GATE_FAILURES
 
 
+def _spec_from_args(args: argparse.Namespace):
+    """A CampaignSpec from --spec FILE or the loose submit flags."""
+    from .scheduler import CampaignSpec
+
+    if args.spec:
+        with open(args.spec) as handle:
+            return CampaignSpec.from_json(handle.read())
+    return CampaignSpec(
+        seed=args.seed,
+        time_scale=args.time_scale,
+        flux_per_cm2_s=args.flux,
+        vectorized=not args.no_vectorized,
+        priority=args.priority,
+        name=args.name or "",
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import CampaignService, ServiceConfig
+
+    config = ServiceConfig(
+        root=args.root,
+        workers=args.workers,
+        capacity=args.capacity,
+        lease_ttl_s=args.lease_ttl,
+        poll_s=args.poll,
+        http_port=args.http,
+        idle_exit_s=args.idle_exit,
+        broker_id=args.broker_id,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    service = CampaignService(config, telemetry=Telemetry())
+    where = (
+        f", http on 127.0.0.1:{args.http}" if args.http is not None else ""
+    )
+    print(
+        f"serving campaigns from {args.root} "
+        f"(broker {service.broker_id}, {args.workers} worker(s), "
+        f"capacity {args.capacity}{where})"
+    )
+    return service.serve()
+
+
+def _http_submit(url: str, spec) -> int:
+    """POST a spec to a live service; the HTTP road to exit 5."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(
+        url.rstrip("/") + "/submit",
+        data=spec.to_json().encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        if exc.code == 503:
+            raise SchedulerBusy(
+                f"service at {url} refused the submission (queue full): "
+                f"{detail}"
+            ) from exc
+        print(f"error: service returned {exc.code}: {detail}", file=sys.stderr)
+        return 1
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach service at {url}: {exc}", file=sys.stderr)
+        return 1
+    deduped = " (deduplicated: already queued)" if payload.get("deduped") else ""
+    print(f"submitted {payload['submission_id']}{deduped}")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import time
+
+    from .service import check_backpressure, jobs_dir, results_dir
+
+    spec = _spec_from_args(args)
+    if args.url:
+        status = _http_submit(args.url, spec)
+        if status != 0:
+            return status
+        sid = spec.submission_id
+    else:
+        # File-based: the queue bound is enforced against the live
+        # broker's status snapshot, then the job is dropped atomically
+        # into ROOT/jobs for the watcher.
+        check_backpressure(args.root, incoming_units=4)
+        sid = spec.submission_id
+        jobs = jobs_dir(args.root)
+        os.makedirs(jobs, exist_ok=True)
+        path = os.path.join(jobs, f"job-{sid}.json")
+        tmp = f"{path}.tmp-{os.getpid()}"
+        with open(tmp, "w") as handle:
+            handle.write(spec.to_json())
+        os.replace(tmp, path)
+        print(f"submitted {sid} ({path})")
+    outdir = results_dir(args.root, sid)
+    print(f"  results will land in {outdir}")
+    if args.wait is None:
+        return 0
+    deadline = time.monotonic() + args.wait if args.wait > 0 else None
+    campaign_path = os.path.join(outdir, "campaign.json")
+    while not os.path.exists(campaign_path):
+        if deadline is not None and time.monotonic() > deadline:
+            print(
+                f"error: timed out after {args.wait}s waiting for {sid} "
+                f"(is a `repro-campaign serve {args.root}` running?)",
+                file=sys.stderr,
+            )
+            return 1
+        time.sleep(0.2)
+    failures_path = os.path.join(outdir, "failures.json")
+    try:
+        with open(failures_path) as handle:
+            ok = bool(json.load(handle).get("ok", True))
+    except (OSError, json.JSONDecodeError, ValueError):
+        ok = True
+    print(f"  {sid} complete ({campaign_path})")
+    return 0 if ok else EXIT_STRICT_FAILURES
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .service import status_path
+
+    try:
+        with open(status_path(args.root)) as handle:
+            status = json.load(handle)
+    except FileNotFoundError:
+        print(
+            f"error: no status snapshot under {args.root!r} "
+            f"(start one with `repro-campaign serve {args.root}`)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    age = time.time() - status.get("updated_unix", 0)
+    print(
+        f"broker {status.get('broker')} [{status.get('state')}] -- "
+        f"{status.get('queued_units')} queued, "
+        f"{status.get('inflight_units')} in flight, "
+        f"capacity {status.get('capacity')}, "
+        f"updated {age:.0f}s ago"
+    )
+    table = Table(
+        title="Submissions",
+        header=["Submission", "Name", "Priority", "Units", "State"],
+    )
+    for sub in status.get("submissions", []):
+        units = sub.get("units", {})
+        total = sum(units.values())
+        done = units.get("done", 0)
+        if sub.get("cancelled"):
+            state = "cancelled"
+        elif done == total and total:
+            state = "complete"
+        elif units.get("failed"):
+            state = "failed"
+        else:
+            state = "running"
+        table.add_row(
+            sub.get("submission_id"),
+            sub.get("name"),
+            sub.get("priority"),
+            f"{done}/{total}",
+            state,
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .service import jobs_dir
+
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            args.url.rstrip("/") + "/cancel",
+            data=json.dumps({"submission_id": args.submission}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace").strip()
+            print(
+                f"error: cancel failed ({exc.code}): {detail}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"cancelled {args.submission} "
+            f"({payload.get('dropped', 0)} queued unit(s) dropped)"
+        )
+        return 0
+    jobs = jobs_dir(args.root)
+    os.makedirs(jobs, exist_ok=True)
+    path = os.path.join(jobs, f"cancel-{args.submission}-{os.getpid()}.json")
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump({"cancel": args.submission}, handle)
+        handle.write("\n")
+    os.replace(tmp, path)
+    print(f"cancel requested for {args.submission} ({path})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-campaign`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -512,6 +763,152 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: conformance.json)",
     )
     validate.set_defaults(func=_cmd_validate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a campaign service: watch ROOT/jobs, lease work to a "
+        "supervised pool, assemble results under ROOT/results",
+    )
+    serve.add_argument("root")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="supervised worker processes per batch (default: 2)",
+    )
+    serve.add_argument(
+        "--capacity",
+        type=int,
+        default=64,
+        help="bounded queue size in work units; full-queue submissions "
+        "are refused with SchedulerBusy (default: 64)",
+    )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=15.0,
+        metavar="S",
+        help="seconds a lease survives without a heartbeat; a killed "
+        "worker's units are re-leased after this (default: 15)",
+    )
+    serve.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="job-directory poll interval in seconds (default: 0.5)",
+    )
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also listen on 127.0.0.1:PORT "
+        "(GET /status /metrics, POST /submit /cancel)",
+    )
+    serve.add_argument(
+        "--idle-exit",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit 0 after S seconds with no queued, in-flight or "
+        "dropped work (for batch jobs and CI)",
+    )
+    serve.add_argument(
+        "--broker-id",
+        default=None,
+        help="stable broker identity for leases and the scheduling "
+        "journal (default: broker-<pid>)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-unit response timeout in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per unit for transient failures (default: 2)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a campaign spec to a service root (exit 5 when the "
+        "queue is full)",
+    )
+    submit.add_argument("root")
+    submit.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="campaign spec JSON file (overrides the loose flags)",
+    )
+    submit.add_argument("--seed", type=int, default=2023)
+    submit.add_argument("--time-scale", type=float, default=0.2)
+    submit.add_argument(
+        "--flux",
+        type=float,
+        default=None,
+        metavar="F",
+        help="campaign-wide flux override (particles/cm^2/s)",
+    )
+    submit.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="broker queueing priority; higher leases first (default: 0)",
+    )
+    submit.add_argument("--name", default=None, help="display name")
+    submit.add_argument(
+        "--no-vectorized",
+        action="store_true",
+        help="use the scalar injector realization path",
+    )
+    submit.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="submit over HTTP to a serving broker (e.g. "
+        "http://127.0.0.1:8642) instead of the job directory",
+    )
+    submit.add_argument(
+        "--wait",
+        type=float,
+        nargs="?",
+        const=0.0,
+        default=None,
+        metavar="S",
+        help="block until the submission's campaign.json lands "
+        "(optionally at most S seconds)",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="show a service root's broker status"
+    )
+    status.add_argument("root")
+    status.add_argument(
+        "--json", action="store_true", help="print the raw status snapshot"
+    )
+    status.set_defaults(func=_cmd_status)
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a queued submission on a service root"
+    )
+    cancel.add_argument("root")
+    cancel.add_argument("submission", help="submission id (sub-...)")
+    cancel.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help="cancel over HTTP instead of the job directory",
+    )
+    cancel.set_defaults(func=_cmd_cancel)
     return parser
 
 
@@ -525,6 +922,9 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except SchedulerBusy as exc:
+        print(f"busy: {exc}", file=sys.stderr)
+        return EXIT_SCHEDULER_BUSY
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

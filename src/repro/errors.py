@@ -80,6 +80,26 @@ class CampaignInterrupted(ReproError):
     """
 
 
+class SchedulerError(ReproError):
+    """The campaign broker/service layer was configured or driven
+    incorrectly (bad spec, unknown submission, stale lease misuse)."""
+
+
+class SchedulerBusy(SchedulerError):
+    """The broker's bounded work queue cannot accept a submission.
+
+    Backpressure, not failure: the campaign was *rejected before
+    queueing*, nothing was enqueued, and resubmitting later (or against
+    a broker with spare capacity) is safe.  The CLI maps this to exit
+    code 5.
+    """
+
+
+class LeaseError(SchedulerError):
+    """A lease operation referenced an unknown, expired-and-reassigned,
+    or already-settled work unit lease."""
+
+
 class LogbookError(ReproError):
     """A logbook entry used a kind outside the documented closed set."""
 

@@ -158,39 +158,67 @@ class Campaign:
             }
         )
 
+    def plan_campaign(self, with_metrics: Optional[bool] = None):
+        """Plan this campaign for the broker: ordered, stable-id units.
+
+        The scheduling entry point: ``Campaign`` owns plan preparation
+        (time scaling, flux overrides) and the config hash;
+        :func:`~repro.scheduler.plan_units` owns the unit wrapping.
+        """
+        from ..scheduler import CampaignPlan, plan_units
+
+        if with_metrics is None:
+            telemetry = self.context.telemetry or NULL_TELEMETRY
+            with_metrics = telemetry.enabled
+        config_hash = self.config_hash()
+        return CampaignPlan(
+            config_hash=config_hash,
+            units=plan_units(
+                self.plans,
+                seed=self.context.seed,
+                config_hash=config_hash,
+                vectorized=self.vectorized,
+                with_metrics=with_metrics,
+            ),
+            seed=self.context.seed,
+            time_scale=self.context.time_scale,
+        )
+
     def run(self) -> CampaignResult:
         """Fly every session on a fresh chip; return all results.
+
+        Compatibility shim over the scheduling layer: plans the
+        campaign, submits it to a private in-process
+        :class:`~repro.scheduler.Broker`, and drains the queue through
+        this campaign's executor.  The broker adds bookkeeping, never
+        behaviour -- units run through one ``executor.map`` batch in
+        submission order, so the span tree, merged counters and result
+        bytes are identical to the pre-broker serial/parallel runs.
 
         With a telemetry sink on the context, each work unit flies with
         a private metrics registry and ships its snapshot back; the
         merge happens here, strictly in submission order, so the merged
         counts are bit-identical between serial and parallel executors.
         """
+        from ..scheduler import Broker
+
         telemetry = self.context.telemetry or NULL_TELEMETRY
-        units = [
-            WorkUnit(
-                key=plan.label,
-                fn=_fly_session,
-                args=(plan, self.context.seed),
-                kwargs={
-                    "vectorized": self.vectorized,
-                    "with_metrics": telemetry.enabled,
-                },
-            )
-            for plan in self.plans
-        ]
+        plan = self.plan_campaign()
+        broker = Broker(telemetry=telemetry)
+        broker.submit(plan)
         result = CampaignResult()
-        with telemetry.span("campaign.run", sessions=len(units)):
-            outcomes = self.executor.map(
-                units,
+        with telemetry.span("campaign.run", sessions=len(plan.units)):
+            outcomes = broker.drain(
+                self.executor,
                 logbook=self.context.logbook,
                 telemetry=self.context.telemetry,
             )
-            for plan, (session_result, sram_bits, snapshot) in zip(
-                self.plans, outcomes
-            ):
+            for planned in plan.units:
+                session_result, sram_bits, snapshot = outcomes[
+                    planned.unit_id
+                ]
                 telemetry.merge_snapshot(snapshot)
-                result.sessions[plan.label] = session_result
+                result.sessions[planned.label] = session_result
                 if not result.sram_bits:
                     result.sram_bits = sram_bits
         return result

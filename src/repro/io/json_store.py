@@ -133,6 +133,25 @@ def campaign_to_dict(campaign: CampaignResult) -> dict:
     }
 
 
+def campaign_dict_from_entries(entries: List[dict]) -> dict:
+    """Assemble a campaign dict from per-unit payload entries.
+
+    *entries* are the checkpoint/commit payloads the resilient journal
+    and the scheduler store both carry (``key`` / ``sram_bits`` /
+    ``session``), in plan order.  The session payloads are passed
+    through byte-for-byte -- never decoded and re-encoded -- which is
+    what keeps a resumed, broker-sharded or service-assembled
+    ``campaign.json`` identical to an uninterrupted run's.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "sram_bits": next(
+            (e["sram_bits"] for e in entries if e.get("sram_bits")), 0
+        ),
+        "sessions": {entry["key"]: entry["session"] for entry in entries},
+    }
+
+
 # --- decoding ------------------------------------------------------------------
 
 

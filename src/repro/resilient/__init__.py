@@ -34,6 +34,7 @@ from .chaos import (
 )
 from .journal import (
     CampaignJournal,
+    EventJournal,
     FSYNC_POLICIES,
     JournalEntry,
     JournalHeader,
@@ -56,6 +57,7 @@ __all__ = [
     "FAULT_KINDS",
     "SimulatedCrash",
     "CampaignJournal",
+    "EventJournal",
     "FSYNC_POLICIES",
     "JournalEntry",
     "JournalHeader",

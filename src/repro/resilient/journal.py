@@ -216,9 +216,19 @@ class CampaignJournal:
                     valid_end = raw.rfind(b"\n") + 1
                 if 0 <= valid_end < size:
                     handle.truncate(valid_end)
-                    handle.flush()
-                    if self.fsync == "unit":
-                        os.fsync(handle.fileno())
+                # A crash can tear off exactly the terminating newline:
+                # the last line still parses, so load() keeps it (and
+                # reports valid_end == file size), but appending right
+                # after it would glue the next record onto the
+                # unterminated line, corrupting both.  Terminate it.
+                if valid_end > 0:
+                    handle.seek(valid_end - 1)
+                    if handle.read(1) != b"\n":
+                        handle.seek(valid_end)
+                        handle.write(b"\n")
+                handle.flush()
+                if self.fsync == "unit":
+                    os.fsync(handle.fileno())
         except FileNotFoundError:
             pass  # nothing to trim; append will create the file
 
@@ -321,3 +331,80 @@ class CampaignJournal:
             salvaged=salvaged,
             valid_end=valid_end,
         )
+
+
+class EventJournal:
+    """Append-only JSONL of scheduler events (submit/lease/complete).
+
+    The campaign broker persists its scheduling decisions with the same
+    durability rules as :class:`CampaignJournal` -- append-only lines,
+    flush (and optionally fsync) per event, torn final lines dropped on
+    read -- but the payload is a free-form event stream rather than the
+    closed header/unit vocabulary.  Each broker process owns exactly
+    one journal file (named by its broker id), so two brokers sharing a
+    results directory never interleave writes within one file; reading
+    the directory's full history means reading every broker's journal.
+    """
+
+    def __init__(
+        self, path: str, header: Optional[dict] = None, fsync: str = "unit"
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise SupervisionError(
+                f"unknown fsync policy {fsync!r}; choose from {FSYNC_POLICIES}"
+            )
+        self.path = path
+        self.fsync = fsync
+        existed = os.path.exists(path)
+        self._handle = open(path, "a")
+        if not existed and header is not None:
+            self.append(dict(header, kind="header"))
+
+    def append(self, event: dict) -> None:
+        """Append one event line (flush + fsync per policy)."""
+        if self._handle is None:
+            raise SupervisionError("event journal is closed")
+        self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+        self._handle.flush()
+        if self.fsync == "unit":
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @staticmethod
+    def read_events(path: str) -> List[dict]:
+        """Read one event journal back, dropping a torn final line."""
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return []
+        except OSError as exc:
+            raise ReproIOError(
+                f"cannot read event journal {path!r}: {exc}"
+            ) from exc
+        events: List[dict] = []
+        lines = raw.splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                if index == len(lines) - 1:
+                    continue  # torn tail: the crash interrupted this append
+                raise ReproIOError(
+                    f"event journal {path!r} is corrupt at line "
+                    f"{index + 1} (not a torn tail): {exc}"
+                ) from exc
+        return events

@@ -27,8 +27,7 @@ from typing import Dict, List, Optional
 
 from ..engine import ExecutionContext
 from ..errors import ReproIOError, SupervisionError
-from ..harness.campaign import Campaign, CampaignResult, _fly_session
-from ..engine.executor import WorkUnit
+from ..harness.campaign import Campaign, CampaignResult
 from ..io.json_store import (
     SCHEMA_VERSION,
     campaign_from_dict,
@@ -36,6 +35,7 @@ from ..io.json_store import (
 )
 from ..io.results_dir import ResultsDirectory
 from ..io.atomic import atomic_write_json
+from ..scheduler import Broker
 from ..telemetry import NULL_TELEMETRY
 from ..core.report import Table
 from .chaos import ChaosSpec, SimulatedCrash
@@ -242,23 +242,22 @@ class ResilientCampaign:
                 journal_path, header, fsync=self.fsync
             )
 
-        pending_plans = [p for p in self.plans if p.label not in completed]
+        # Scheduling goes through the broker: the campaign is planned
+        # once (stable unit ids), journaled units are settled as
+        # recovered, and only the remainder is leased to the executor.
+        plan = self._campaign.plan_campaign(with_metrics=telemetry.enabled)
+        broker = Broker(telemetry=telemetry)
+        broker.submit(plan)
+        unit_ids = {unit.label: unit.unit_id for unit in plan.units}
+        for label in completed:
+            broker.mark_recovered(unit_ids[label], None)
+
         fresh: Dict[str, dict] = {}
         fresh_reports: Dict[str, UnitReport] = {}
-        units = [
-            WorkUnit(
-                key=plan.label,
-                fn=_fly_session,
-                args=(plan, self.context.seed),
-                kwargs={
-                    "vectorized": self.vectorized,
-                    "with_metrics": telemetry.enabled,
-                },
-            )
-            for plan in pending_plans
-        ]
 
-        def _checkpoint(index: int, report: UnitReport, result) -> None:
+        def _checkpoint(
+            index: int, lease, report: UnitReport, result
+        ) -> None:
             fresh_reports[report.key] = report
             if report.ok:
                 session_result, sram_bits, snapshot = result
@@ -292,8 +291,8 @@ class ResilientCampaign:
                 sessions=len(self.plans),
                 resumed=len(completed),
             ):
-                self.executor.map(
-                    units,
+                broker.drain(
+                    self.executor,
                     logbook=self.context.logbook,
                     telemetry=self.context.telemetry,
                     on_result=_checkpoint,

@@ -1,0 +1,53 @@
+"""Campaign scheduling: planner, broker, and shared-directory store.
+
+The scheduling layer lifted out of :class:`~repro.harness.campaign.Campaign`:
+
+* :mod:`repro.scheduler.spec` -- :class:`CampaignSpec`, the JSON-shaped
+  submission currency (job files, HTTP bodies, in-process submits);
+* :mod:`repro.scheduler.planner` -- pure expansion of a campaign into
+  ordered :class:`PlannedUnit`\\ s with stable ``<hash12>/<label>`` ids;
+* :mod:`repro.scheduler.broker` -- the bounded, prioritized lease queue
+  with heartbeats, expiry-based dead-worker pickup, config-hash dedupe
+  and exactly-once settlement;
+* :mod:`repro.scheduler.store` -- shared-directory commits (exclusive,
+  via ``os.link``) and advisory leases, so two broker processes on one
+  results directory cooperate instead of double-committing.
+
+Scheduling decides *when and where* units run, never *what they
+compute*: session streams derive from ``(seed, label)`` alone, so any
+interleaving of lease/expire/re-lease/complete yields byte-identical
+campaign results.
+"""
+
+from .broker import (
+    Broker,
+    CANCELLED,
+    DEFAULT_LEASE_TTL_S,
+    DONE,
+    FAILED,
+    LEASED,
+    Lease,
+    PENDING,
+    Submission,
+)
+from .planner import CampaignPlan, PlannedUnit, plan_campaign, plan_units
+from .spec import CampaignSpec
+from .store import DirectoryStore
+
+__all__ = [
+    "Broker",
+    "CampaignPlan",
+    "CampaignSpec",
+    "DirectoryStore",
+    "Lease",
+    "PlannedUnit",
+    "Submission",
+    "plan_campaign",
+    "plan_units",
+    "DEFAULT_LEASE_TTL_S",
+    "PENDING",
+    "LEASED",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+]

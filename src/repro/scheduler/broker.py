@@ -1,0 +1,631 @@
+"""The campaign broker: a leased, prioritized, bounded work queue.
+
+The broker owns scheduling and nothing else.  It never runs a work
+unit, never touches an RNG stream, and never decodes a session payload
+-- it hands out *leases* on planned units and records what came back:
+
+* **submit** queues a planned campaign, deduping on the config hash
+  (the same physics submitted twice is one submission) and refusing --
+  with the typed :class:`~repro.errors.SchedulerBusy` -- when the
+  bounded queue is full;
+* **lease** pops the highest-priority pending units, stamping each
+  with a worker id, a monotonically-versioned token and a deadline;
+  :meth:`heartbeat` extends a live lease, :meth:`expire` returns
+  overdue ones to the queue (the dead-worker pickup path);
+* **complete** settles a unit exactly once: duplicate completions --
+  an expired worker finishing late, two brokers racing on a shared
+  directory -- are detected (in-memory by status, cross-process by the
+  store's exclusive commit) and discarded;
+* **cancel** drops a submission's pending units and marks it so its
+  results are never assembled.
+
+With a :class:`~repro.scheduler.store.DirectoryStore` attached, every
+commit also lands as an exclusive file in the shared directory and
+every lease is published there, so a *second broker process* pointed at
+the same directory recovers committed units instantly and takes over
+expired leases -- multi-host scheduling over a shared filesystem, with
+correctness resting only on the commit's exclusivity.
+
+Determinism contract: scheduling decides *when and where* a unit runs,
+never *what it computes* -- units derive their streams from
+``(seed, label)`` alone, so any lease/expire/re-lease/complete
+interleaving that settles every unit yields byte-identical merged
+results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..engine.executor import WorkUnit
+from ..errors import LeaseError, SchedulerBusy, SchedulerError
+from ..telemetry import NULL_TELEMETRY
+from .planner import CampaignPlan, PlannedUnit
+from .store import DirectoryStore
+
+#: Unit lifecycle states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Default lease time-to-live without a heartbeat, in seconds.
+DEFAULT_LEASE_TTL_S = 30.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's time-bounded claim on one unit."""
+
+    unit_id: str
+    label: str
+    seq: int
+    submission_id: str
+    worker: str
+    token: int
+    deadline: float
+    unit: WorkUnit
+
+
+@dataclass
+class _UnitRecord:
+    """Broker-side bookkeeping for one planned unit."""
+
+    planned: PlannedUnit
+    submission_id: str
+    priority: int
+    sub_seq: int
+    status: str = PENDING
+    token: int = 0
+    worker: Optional[str] = None
+    deadline: Optional[float] = None
+    result: Any = None
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class Submission:
+    """One accepted campaign submission."""
+
+    submission_id: str
+    name: str
+    config_hash: str
+    priority: int
+    sub_seq: int
+    plan: CampaignPlan
+    cancelled: bool = False
+    deduped: int = 0
+
+    def to_dict(self, unit_states: Dict[str, int]) -> dict:
+        return {
+            "submission_id": self.submission_id,
+            "name": self.name,
+            "config_hash": self.config_hash,
+            "priority": self.priority,
+            "cancelled": self.cancelled,
+            "deduped": self.deduped,
+            "units": unit_states,
+        }
+
+
+class Broker:
+    """The work-queue owner (see module docstring).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum *queued* (pending) units across submissions; ``None``
+        is unbounded (the in-process ``Campaign.run()`` shim).  A
+        submission that would overflow is rejected whole with
+        :class:`~repro.errors.SchedulerBusy` -- never partially queued.
+    lease_ttl_s:
+        Seconds a lease stays live without a heartbeat.
+    clock:
+        Monotonic clock for lease deadlines (injectable in tests).
+    store:
+        Optional shared-directory state for multi-broker operation.
+    telemetry:
+        Metrics sink (``scheduler.*`` counters and gauges).
+    broker_id:
+        This broker's identity in published leases and journals.
+    journal:
+        Optional :class:`~repro.resilient.EventJournal`; every
+        submit/lease/expire/complete/fail/cancel event is appended.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        clock: Callable[[], float] = time.monotonic,
+        store: Optional[DirectoryStore] = None,
+        telemetry=None,
+        broker_id: str = "broker-local",
+        journal=None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SchedulerError("broker capacity must be positive")
+        if lease_ttl_s <= 0:
+            raise SchedulerError("lease ttl must be positive")
+        self.capacity = capacity
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.clock = clock
+        self.store = store
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.broker_id = broker_id
+        self.journal = journal
+        self._submissions: Dict[str, Submission] = {}
+        self._units: Dict[str, _UnitRecord] = {}
+        self._heap: List[tuple] = []
+        self._sub_seq = 0
+        self._token = 0
+
+    # -- bookkeeping helpers -----------------------------------------------------
+
+    def _record_event(self, event: str, **fields: object) -> None:
+        if self.journal is not None:
+            self.journal.append(
+                dict(
+                    fields,
+                    kind="event",
+                    event=event,
+                    broker=self.broker_id,
+                    t_unix=time.time(),
+                )
+            )
+
+    def _push(self, record: _UnitRecord) -> None:
+        heapq.heappush(
+            self._heap,
+            (
+                -record.priority,
+                record.sub_seq,
+                record.planned.seq,
+                record.planned.unit_id,
+            ),
+        )
+
+    def _update_gauges(self) -> None:
+        self.telemetry.set_gauge("scheduler.queue_depth", self.pending_count())
+        self.telemetry.set_gauge(
+            "scheduler.inflight",
+            sum(1 for r in self._units.values() if r.status == LEASED),
+        )
+
+    def pending_count(self) -> int:
+        return sum(1 for r in self._units.values() if r.status == PENDING)
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(
+        self, plan: CampaignPlan, priority: Optional[int] = None
+    ) -> Submission:
+        """Queue a planned campaign; dedupe, bound, and journal it."""
+        sid = plan.submission_id
+        existing = self._submissions.get(sid)
+        if existing is not None:
+            existing.deduped += 1
+            self.telemetry.count("scheduler.deduped")
+            self._record_event("dedupe", submission=sid)
+            return existing
+        effective_priority = (
+            priority if priority is not None else plan.priority
+        )
+        recovered = {}
+        if self.store is not None:
+            for planned in plan.units:
+                payload = self.store.read_commit(planned.unit_id)
+                if payload is not None:
+                    recovered[planned.unit_id] = payload
+        to_queue = len(plan.units) - len(recovered)
+        if (
+            self.capacity is not None
+            and self.pending_count() + to_queue > self.capacity
+        ):
+            self.telemetry.count("scheduler.rejected")
+            self._record_event(
+                "reject", submission=sid, queued=self.pending_count()
+            )
+            raise SchedulerBusy(
+                f"queue is full ({self.pending_count()} unit(s) pending, "
+                f"capacity {self.capacity}): submission {sid} needs "
+                f"{to_queue} more; retry once the queue drains"
+            )
+        submission = Submission(
+            submission_id=sid,
+            name=plan.display_name,
+            config_hash=plan.config_hash,
+            priority=effective_priority,
+            sub_seq=self._sub_seq,
+            plan=plan,
+        )
+        self._sub_seq += 1
+        self._submissions[sid] = submission
+        for planned in plan.units:
+            record = _UnitRecord(
+                planned=planned,
+                submission_id=sid,
+                priority=effective_priority,
+                sub_seq=submission.sub_seq,
+            )
+            self._units[planned.unit_id] = record
+            if planned.unit_id in recovered:
+                record.status = DONE
+                record.payload = recovered[planned.unit_id]
+                self.telemetry.count("scheduler.recovered")
+            else:
+                self._push(record)
+        self.telemetry.count("scheduler.submissions")
+        self.telemetry.count("scheduler.submitted", n=to_queue)
+        self._record_event(
+            "submit",
+            submission=sid,
+            name=submission.name,
+            priority=effective_priority,
+            units=len(plan.units),
+            recovered=len(recovered),
+        )
+        self._update_gauges()
+        return submission
+
+    def mark_recovered(self, unit_id: str, payload: Optional[dict]) -> None:
+        """Settle a unit from prior persisted state (journal resume)."""
+        record = self._require_unit(unit_id)
+        if record.status == DONE:
+            return
+        record.status = DONE
+        record.payload = payload
+        self.telemetry.count("scheduler.recovered")
+        self._record_event("recover", unit=unit_id)
+        self._update_gauges()
+
+    # -- leasing -----------------------------------------------------------------
+
+    def lease(
+        self,
+        worker: str,
+        limit: Optional[int] = 1,
+        now: Optional[float] = None,
+    ) -> List[Lease]:
+        """Claim up to *limit* pending units in priority order."""
+        now = self.clock() if now is None else now
+        self.expire(now)
+        leases: List[Lease] = []
+        skipped: List[_UnitRecord] = []
+        while self._heap and (limit is None or len(leases) < limit):
+            _, _, _, unit_id = heapq.heappop(self._heap)
+            record = self._units.get(unit_id)
+            if record is None or record.status != PENDING:
+                continue  # lazily dropped (settled, cancelled, re-queued)
+            if self.store is not None and self.store.foreign_lease_live(
+                unit_id, self.broker_id
+            ):
+                skipped.append(record)
+                continue
+            self._token += 1
+            record.status = LEASED
+            record.token = self._token
+            record.worker = worker
+            record.deadline = now + self.lease_ttl_s
+            if self.store is not None:
+                self.store.write_lease(
+                    unit_id, self.broker_id, self.lease_ttl_s
+                )
+            self.telemetry.count("scheduler.leased")
+            self._record_event(
+                "lease", unit=unit_id, worker=worker, token=record.token
+            )
+            leases.append(
+                Lease(
+                    unit_id=unit_id,
+                    label=record.planned.label,
+                    seq=record.planned.seq,
+                    submission_id=record.submission_id,
+                    worker=worker,
+                    token=record.token,
+                    deadline=record.deadline,
+                    unit=record.planned.unit,
+                )
+            )
+        for record in skipped:
+            self._push(record)
+        self._update_gauges()
+        return leases
+
+    def heartbeat(self, lease: Lease, now: Optional[float] = None) -> Lease:
+        """Extend a live lease; raises LeaseError when it is stale."""
+        record = self._require_unit(lease.unit_id)
+        if record.status != LEASED or record.token != lease.token:
+            raise LeaseError(
+                f"lease on {lease.unit_id!r} (token {lease.token}) is no "
+                f"longer live (unit is {record.status})"
+            )
+        now = self.clock() if now is None else now
+        record.deadline = now + self.lease_ttl_s
+        if self.store is not None:
+            self.store.write_lease(
+                lease.unit_id, self.broker_id, self.lease_ttl_s
+            )
+        self.telemetry.count("scheduler.heartbeats")
+        return replace(lease, deadline=record.deadline)
+
+    def expire(self, now: Optional[float] = None) -> List[str]:
+        """Return overdue leases to the queue; list the expired ids."""
+        now = self.clock() if now is None else now
+        expired: List[str] = []
+        for record in self._units.values():
+            if (
+                record.status == LEASED
+                and record.deadline is not None
+                and record.deadline <= now
+            ):
+                record.status = PENDING
+                record.worker = None
+                record.deadline = None
+                self._push(record)
+                expired.append(record.planned.unit_id)
+                self.telemetry.count("scheduler.lease_expired")
+                self._record_event("expire", unit=record.planned.unit_id)
+        if expired:
+            self._update_gauges()
+        return expired
+
+    # -- settlement --------------------------------------------------------------
+
+    def complete(
+        self, lease: Lease, result: Any, payload: Optional[dict] = None
+    ) -> bool:
+        """Settle a unit with its result; False for discarded duplicates.
+
+        Exactly-once: the first completion (in-memory) or the first
+        exclusive store commit (shared directory) wins; every later
+        completion of the same unit -- stale lease, racing broker --
+        returns False and changes nothing.  A completion from an
+        *expired but not yet re-leased* lease is accepted: the result
+        is a pure function of the unit, so discarding it would only
+        redo identical work.
+        """
+        record = self._require_unit(lease.unit_id)
+        if record.status == DONE:
+            self.telemetry.count("scheduler.duplicates")
+            self._record_event(
+                "duplicate", unit=lease.unit_id, worker=lease.worker
+            )
+            return False
+        if record.status == CANCELLED:
+            return False
+        if self.store is not None:
+            if payload is None:
+                raise SchedulerError(
+                    "a store-backed broker needs the encoded payload to "
+                    "commit (got payload=None)"
+                )
+            won = self.store.try_commit(lease.unit_id, payload)
+            if not won:
+                # Another broker committed first; adopt its payload so
+                # assembly sees the (identical) winning bytes.
+                record.status = DONE
+                record.payload = self.store.read_commit(lease.unit_id)
+                self._clear_own_lease(lease.unit_id)
+                self.telemetry.count("scheduler.duplicates")
+                self._record_event(
+                    "duplicate", unit=lease.unit_id, worker=lease.worker
+                )
+                self._update_gauges()
+                return False
+        record.status = DONE
+        record.result = result
+        record.payload = payload
+        record.worker = None
+        record.deadline = None
+        self._clear_own_lease(lease.unit_id)
+        self.telemetry.count("scheduler.completed")
+        self._record_event(
+            "complete", unit=lease.unit_id, worker=lease.worker
+        )
+        self._update_gauges()
+        return True
+
+    def fail(
+        self, lease: Lease, error: str, requeue: bool = False
+    ) -> None:
+        """Settle (or re-queue) a unit whose attempt failed."""
+        record = self._require_unit(lease.unit_id)
+        if record.status in (DONE, CANCELLED):
+            return
+        self.telemetry.count("scheduler.unit_failures")
+        self._clear_own_lease(lease.unit_id)
+        if requeue:
+            record.status = PENDING
+            record.worker = None
+            record.deadline = None
+            self._push(record)
+            self.telemetry.count("scheduler.requeued")
+            self._record_event(
+                "requeue", unit=lease.unit_id, error=str(error)
+            )
+        else:
+            record.status = FAILED
+            record.error = str(error)
+            self._record_event("fail", unit=lease.unit_id, error=str(error))
+        self._update_gauges()
+
+    def cancel(self, submission_id: str) -> int:
+        """Cancel a submission; returns how many pending units it drops.
+
+        Leased units finish their in-flight attempt (a lease cannot be
+        revoked from under a worker), but the submission is marked so
+        its results are never assembled.
+        """
+        submission = self._submissions.get(submission_id)
+        if submission is None:
+            raise SchedulerError(
+                f"unknown submission {submission_id!r}; "
+                f"known: {sorted(self._submissions)}"
+            )
+        submission.cancelled = True
+        dropped = 0
+        for record in self._units.values():
+            if (
+                record.submission_id == submission_id
+                and record.status == PENDING
+            ):
+                record.status = CANCELLED
+                dropped += 1
+        self.telemetry.count("scheduler.cancelled", n=dropped)
+        self._record_event(
+            "cancel", submission=submission_id, dropped=dropped
+        )
+        self._update_gauges()
+        return dropped
+
+    def _clear_own_lease(self, unit_id: str) -> None:
+        if self.store is None:
+            return
+        lease = self.store.read_lease(unit_id)
+        if lease is not None and lease.get("owner") == self.broker_id:
+            self.store.clear_lease(unit_id)
+
+    def _require_unit(self, unit_id: str) -> _UnitRecord:
+        record = self._units.get(unit_id)
+        if record is None:
+            raise LeaseError(f"unknown unit {unit_id!r}")
+        return record
+
+    # -- inspection --------------------------------------------------------------
+
+    def submission(self, submission_id: str) -> Submission:
+        if submission_id not in self._submissions:
+            raise SchedulerError(f"unknown submission {submission_id!r}")
+        return self._submissions[submission_id]
+
+    def submissions(self) -> List[Submission]:
+        return sorted(
+            self._submissions.values(), key=lambda s: s.sub_seq
+        )
+
+    def unit_status(self, unit_id: str) -> str:
+        return self._require_unit(unit_id).status
+
+    def unit_result(self, unit_id: str) -> Any:
+        return self._require_unit(unit_id).result
+
+    def unit_payload(self, unit_id: str) -> Optional[dict]:
+        return self._require_unit(unit_id).payload
+
+    def is_settled(self, submission_id: str) -> bool:
+        """True when no unit of the submission can still change state."""
+        units = self._submission_units(submission_id)
+        return all(
+            r.status in (DONE, FAILED, CANCELLED) for r in units
+        )
+
+    def is_complete(self, submission_id: str) -> bool:
+        """True when every unit of the submission completed."""
+        units = self._submission_units(submission_id)
+        return bool(units) and all(r.status == DONE for r in units)
+
+    def entries_for(self, submission_id: str) -> List[dict]:
+        """Committed payload dicts of a submission, in plan order."""
+        units = self._submission_units(submission_id)
+        return [
+            r.payload
+            for r in sorted(units, key=lambda r: r.planned.seq)
+            if r.payload is not None
+        ]
+
+    def _submission_units(self, submission_id: str) -> List[_UnitRecord]:
+        self.submission(submission_id)  # raise on unknown ids
+        return [
+            r
+            for r in self._units.values()
+            if r.submission_id == submission_id
+        ]
+
+    def status(self) -> dict:
+        """JSON-shaped scheduler state (the ``status.json`` payload)."""
+        subs = []
+        for submission in self.submissions():
+            counts: Dict[str, int] = {}
+            for record in self._submission_units(
+                submission.submission_id
+            ):
+                counts[record.status] = counts.get(record.status, 0) + 1
+            subs.append(submission.to_dict(counts))
+        return {
+            "schema": 1,
+            "broker": self.broker_id,
+            "capacity": self.capacity,
+            "queued_units": self.pending_count(),
+            "inflight_units": sum(
+                1 for r in self._units.values() if r.status == LEASED
+            ),
+            "submissions": subs,
+        }
+
+    # -- in-process drain (the Campaign.run shim's engine room) ------------------
+
+    def drain(
+        self,
+        executor,
+        worker: str = "in-process",
+        logbook=None,
+        telemetry=None,
+        on_result: Optional[Callable] = None,
+        batch: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Lease-and-run everything pending through one executor.
+
+        With *on_result* the executor must support the supervised
+        ``on_result(index, report, result)`` protocol; units are then
+        settled (complete/fail) as each report arrives, in submission
+        order, before the caller's callback runs -- so a checkpoint
+        callback that raises (chaos, SIGTERM) still leaves every
+        settled unit settled.  Without it, any plain
+        :class:`~repro.engine.Executor` works and units settle after
+        the batch returns.
+
+        Returns results keyed by unit id.  Scheduling is span-free on
+        purpose: the only span a drained campaign opens around its
+        units is the executor's own ``executor.map``, keeping the
+        telemetry tree of ``Campaign.run()`` identical to the
+        pre-broker one.
+        """
+        results: Dict[str, Any] = {}
+        while True:
+            leases = self.lease(worker, limit=batch)
+            if not leases:
+                break
+            units = [lease.unit for lease in leases]
+            if on_result is not None:
+
+                def _settle(index: int, report, result) -> None:
+                    lease = leases[index]
+                    if report.ok:
+                        results[lease.unit_id] = result
+                        self.complete(lease, result)
+                    else:
+                        self.fail(
+                            lease, report.error or "quarantined"
+                        )
+                    on_result(index, lease, report, result)
+
+                executor.map(
+                    units,
+                    logbook=logbook,
+                    telemetry=telemetry,
+                    on_result=_settle,
+                )
+            else:
+                mapped = executor.map(
+                    units, logbook=logbook, telemetry=telemetry
+                )
+                for lease, result in zip(leases, mapped):
+                    results[lease.unit_id] = result
+                    self.complete(lease, result)
+        return results

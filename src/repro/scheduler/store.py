@@ -1,0 +1,173 @@
+"""Shared-directory scheduler state: exclusive commits, advisory leases.
+
+Two broker processes (possibly on two hosts mounting one results
+directory) coordinate through plain files, with one hard rule and one
+soft one:
+
+* **Commits are exclusive and atomic.**  A unit's completion payload is
+  committed by hard-linking a fully-written temp file to
+  ``commits/<unit>.json`` -- ``os.link`` fails with ``FileExistsError``
+  if the name exists, so exactly one broker wins no matter how the
+  leases raced.  Work units are pure functions of their arguments, so
+  the *loser's* duplicate execution wasted time but nothing else; the
+  merged result sees each unit exactly once.
+* **Leases are advisory.**  ``leases/<unit>.json`` names an owner and a
+  wall-clock deadline.  A broker skips units another broker holds a
+  live lease on and takes over expired ones; because a stale lease can
+  always slip through a race, correctness never rests on leases --
+  only on the commit's exclusivity.
+
+The wall clock (``time.time``) is used for lease deadlines because two
+hosts share no monotonic clock; it is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Optional, Set
+
+from ..errors import ReproIOError
+
+#: Subdirectories of the scheduler state root.
+COMMITS_DIR = "commits"
+LEASES_DIR = "leases"
+
+
+def _fs_name(unit_id: str) -> str:
+    """A unit id as a safe filename (ids contain one '/')."""
+    return unit_id.replace("/", "__")
+
+
+def _unit_id(fs_name: str) -> str:
+    return fs_name.replace("__", "/", 1)
+
+
+class DirectoryStore:
+    """Lease/commit state shared by every broker on one directory.
+
+    Parameters
+    ----------
+    root:
+        The scheduler state directory (conventionally
+        ``<service root>/scheduler``).  Created on first use.
+    clock:
+        Wall-clock source for lease deadlines (``time.time``).
+    """
+
+    def __init__(
+        self, root: str, clock: Optional[Callable[[], float]] = None
+    ) -> None:
+        import time
+
+        self.root = root
+        self.clock = clock or time.time
+        self._commits = os.path.join(root, COMMITS_DIR)
+        self._leases = os.path.join(root, LEASES_DIR)
+        os.makedirs(self._commits, exist_ok=True)
+        os.makedirs(self._leases, exist_ok=True)
+
+    # -- commits (the exactly-once boundary) -------------------------------------
+
+    def _commit_path(self, unit_id: str) -> str:
+        return os.path.join(self._commits, f"{_fs_name(unit_id)}.json")
+
+    def try_commit(self, unit_id: str, payload: dict) -> bool:
+        """Commit *payload* for *unit_id*; False if already committed.
+
+        The payload is fully written and fsynced to a temp file first,
+        then hard-linked into place -- a reader can never observe a
+        partial commit, and two concurrent committers cannot both win.
+
+        Keys keep their insertion order (no ``sort_keys``), matching
+        the checkpoint journal: results assembled from *adopted* commit
+        payloads must re-encode to the same bytes a plain run writes.
+        """
+        final = self._commit_path(unit_id)
+        tmp = f"{final}.tmp-{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            os.link(tmp, final)
+        except FileExistsError:
+            return False
+        finally:
+            os.unlink(tmp)
+        return True
+
+    def read_commit(self, unit_id: str) -> Optional[dict]:
+        """The committed payload for *unit_id*, or None."""
+        try:
+            with open(self._commit_path(unit_id)) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError) as exc:
+            raise ReproIOError(
+                f"corrupt commit for unit {unit_id!r}: {exc}"
+            ) from exc
+
+    def committed_units(self) -> Set[str]:
+        """Ids of every committed unit in the directory."""
+        return {
+            _unit_id(name[: -len(".json")])
+            for name in os.listdir(self._commits)
+            if name.endswith(".json")
+        }
+
+    # -- leases (advisory) -------------------------------------------------------
+
+    def _lease_path(self, unit_id: str) -> str:
+        return os.path.join(self._leases, f"{_fs_name(unit_id)}.json")
+
+    def write_lease(self, unit_id: str, owner: str, ttl_s: float) -> None:
+        """Publish (or refresh) this owner's lease on a unit.
+
+        Atomic replace: other brokers read either the old lease or the
+        new one, never a torn file.
+        """
+        path = self._lease_path(unit_id)
+        tmp = f"{path}.tmp-{os.getpid()}"
+        record = {
+            "unit_id": unit_id,
+            "owner": owner,
+            "deadline_unix": self.clock() + ttl_s,
+        }
+        with open(tmp, "w") as handle:
+            json.dump(record, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def read_lease(self, unit_id: str) -> Optional[dict]:
+        """The published lease for a unit, or None (torn reads -> None)."""
+        try:
+            with open(self._lease_path(unit_id)) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A lease is advisory; an unreadable one is treated as
+            # absent rather than wedging the scheduler.
+            return None
+
+    def clear_lease(self, unit_id: str) -> None:
+        """Remove a unit's lease file (idempotent)."""
+        try:
+            os.unlink(self._lease_path(unit_id))
+        except FileNotFoundError:
+            pass
+
+    def foreign_lease_live(
+        self, unit_id: str, owner: str, now: Optional[float] = None
+    ) -> bool:
+        """True when *another* owner holds an unexpired lease on the unit."""
+        lease = self.read_lease(unit_id)
+        if lease is None or lease.get("owner") == owner:
+            return False
+        deadline = lease.get("deadline_unix")
+        if not isinstance(deadline, (int, float)):
+            return False
+        return (now if now is not None else self.clock()) < deadline

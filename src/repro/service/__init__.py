@@ -1,0 +1,43 @@
+"""The campaign service: a shardable front-end over the broker.
+
+``repro-campaign serve ROOT`` runs one :class:`CampaignService`: an
+asyncio loop that accepts campaign specs from a watched job directory
+and an optional local HTTP endpoint, leases work from its
+:class:`~repro.scheduler.Broker` to a supervised worker pool, commits
+completions through the shared scheduler directory, and assembles each
+finished submission into a results directory byte-identical to a plain
+``repro-campaign run`` of the same spec.
+
+Two service processes pointed at one root shard the queue between them
+-- and a killed one's leases expire and are picked up by the survivor.
+"""
+
+from .layout import (
+    accepted_dir,
+    ensure_layout,
+    jobs_dir,
+    rejected_dir,
+    results_dir,
+    scheduler_dir,
+    status_path,
+)
+from .service import (
+    CampaignService,
+    STATUS_STALE_S,
+    ServiceConfig,
+    check_backpressure,
+)
+
+__all__ = [
+    "CampaignService",
+    "ServiceConfig",
+    "check_backpressure",
+    "STATUS_STALE_S",
+    "ensure_layout",
+    "jobs_dir",
+    "accepted_dir",
+    "rejected_dir",
+    "results_dir",
+    "scheduler_dir",
+    "status_path",
+]

@@ -1,0 +1,175 @@
+"""A minimal JSON-over-HTTP endpoint for the campaign service.
+
+Deliberately stdlib-only and tiny: the service speaks to local tooling
+(``repro-campaign submit --url``, a Prometheus scraper, curl), not the
+open internet.  Four routes::
+
+    GET  /status   -> the broker status snapshot (JSON)
+    GET  /metrics  -> the telemetry registry (Prometheus text format)
+    POST /submit   -> body is a CampaignSpec JSON; 200 with the
+                      submission id, 400 on a malformed spec, 503 with
+                      ``Retry-After`` when the bounded queue is full
+                      (the HTTP spelling of SchedulerBusy)
+    POST /cancel   -> body {"submission_id": ...}; 200 with the number
+                      of dropped units, 404 for an unknown submission
+
+Requests are parsed directly off the asyncio stream -- request line,
+headers, ``Content-Length`` body -- which covers every client above
+without importing an HTTP framework.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from ..errors import SchedulerBusy, SchedulerError
+from ..telemetry import metrics_to_prometheus
+
+#: Bound on request head + body: campaign specs are a few hundred bytes.
+MAX_HEAD_BYTES = 16 * 1024
+MAX_BODY_BYTES = 256 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    503: "Service Unavailable",
+}
+
+
+def _response(
+    status: int, body: bytes, content_type: str, extra: str = ""
+) -> bytes:
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"{extra}"
+        f"\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: int, payload: dict, extra: str = "") -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return _response(status, body, "application/json", extra)
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, bytes]]:
+    """Parse one request: (method, path, body); None when malformed."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except (
+        asyncio.IncompleteReadError,
+        asyncio.LimitOverrunError,
+        ConnectionError,
+    ):
+        return None
+    if len(head) > MAX_HEAD_BYTES:
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        return None
+    method, path, _version = parts
+    length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                return None
+    if length < 0 or length > MAX_BODY_BYTES:
+        return None
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+    return method, path, body
+
+
+def _route(service, method: str, path: str, body: bytes) -> bytes:
+    if method == "GET" and path == "/status":
+        return _json_response(200, service.status_dict())
+    if method == "GET" and path == "/metrics":
+        text = metrics_to_prometheus(service.telemetry.metrics)
+        return _response(
+            200, text.encode("utf-8"), "text/plain; version=0.0.4"
+        )
+    if method == "POST" and path == "/submit":
+        from ..scheduler import CampaignSpec
+
+        try:
+            spec = CampaignSpec.from_json(body.decode("utf-8"))
+        except (SchedulerError, UnicodeDecodeError) as exc:
+            return _json_response(400, {"error": str(exc)})
+        try:
+            submission = service.submit_spec(spec)
+        except SchedulerBusy as exc:
+            return _json_response(
+                503,
+                {"error": str(exc), "busy": True},
+                extra="Retry-After: 5\r\n",
+            )
+        return _json_response(
+            200,
+            {
+                "submission_id": submission.submission_id,
+                "name": submission.name,
+                "deduped": submission.deduped > 0,
+            },
+        )
+    if method == "POST" and path == "/cancel":
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            sid = payload["submission_id"]
+        except (
+            json.JSONDecodeError,
+            KeyError,
+            TypeError,
+            UnicodeDecodeError,
+        ) as exc:
+            return _json_response(400, {"error": f"bad cancel body: {exc}"})
+        try:
+            dropped = service.cancel_submission(sid)
+        except SchedulerError as exc:
+            return _json_response(404, {"error": str(exc)})
+        return _json_response(
+            200, {"submission_id": sid, "dropped": dropped}
+        )
+    if path in ("/status", "/metrics", "/submit", "/cancel"):
+        return _json_response(405, {"error": f"{method} not allowed"})
+    return _json_response(404, {"error": f"no route {path!r}"})
+
+
+async def start_http(service, host: str = "127.0.0.1"):
+    """Start the endpoint; returns the asyncio server (close to stop)."""
+
+    async def handle(reader, writer):
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                writer.write(
+                    _json_response(400, {"error": "malformed request"})
+                )
+            else:
+                writer.write(_route(service, *request))
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(
+        handle, host, service.config.http_port
+    )

@@ -1,0 +1,66 @@
+"""On-disk layout of a campaign service root.
+
+One directory is the whole deployment::
+
+    ROOT/
+      jobs/                      # drop spec JSON here to submit
+        accepted/                # accepted specs, renamed <submission>.json
+        rejected/                # malformed jobs + .error.txt diagnoses
+      scheduler/                 # shared broker state (multi-process safe)
+        commits/                 # exclusive per-unit completion payloads
+        leases/                  # advisory per-unit lease files
+        journal-<broker>.jsonl   # per-broker scheduling event journal
+      results/<submission>/      # assembled campaign.json, dmesg, manifest
+      status.json                # latest broker status snapshot (atomic)
+
+Everything under ``scheduler/`` is written to be shared: a second
+``repro-campaign serve ROOT`` on the same (possibly network-mounted)
+root recovers committed units and takes over expired leases.
+"""
+
+from __future__ import annotations
+
+import os
+
+JOBS_DIR = "jobs"
+ACCEPTED_DIR = os.path.join(JOBS_DIR, "accepted")
+REJECTED_DIR = os.path.join(JOBS_DIR, "rejected")
+SCHEDULER_DIR = "scheduler"
+RESULTS_DIR = "results"
+STATUS_FILE = "status.json"
+
+
+def jobs_dir(root: str) -> str:
+    return os.path.join(root, JOBS_DIR)
+
+
+def accepted_dir(root: str) -> str:
+    return os.path.join(root, ACCEPTED_DIR)
+
+
+def rejected_dir(root: str) -> str:
+    return os.path.join(root, REJECTED_DIR)
+
+
+def scheduler_dir(root: str) -> str:
+    return os.path.join(root, SCHEDULER_DIR)
+
+
+def results_dir(root: str, submission_id: str) -> str:
+    return os.path.join(root, RESULTS_DIR, submission_id)
+
+
+def status_path(root: str) -> str:
+    return os.path.join(root, STATUS_FILE)
+
+
+def ensure_layout(root: str) -> None:
+    """Create the service directory tree (idempotent)."""
+    for path in (
+        jobs_dir(root),
+        accepted_dir(root),
+        rejected_dir(root),
+        scheduler_dir(root),
+        os.path.join(root, RESULTS_DIR),
+    ):
+        os.makedirs(path, exist_ok=True)

@@ -12,6 +12,18 @@ of "this knob does not change the physics":
 ``resume``
     An uninterrupted ``ResilientCampaign`` vs one crashed after two
     journaled units and resumed -- byte-identical ``campaign.json``.
+``broker``
+    A plain serial campaign vs the same spec planned, submitted to a
+    store-backed :class:`~repro.scheduler.Broker`, leased out in small
+    batches to a supervised pool, and assembled from the committed
+    payloads -- byte-identical (scheduling decides *when and where*
+    units run, never what they compute).
+``lease_resume``
+    A broker that completes everything vs one that commits half the
+    units and is abandoned mid-lease, with a *second* broker on the
+    same shared directory adopting the commits and taking over the
+    expired leases -- byte-identical assembled campaigns (the
+    dead-worker pickup path).
 ``injector``
     Vectorized vs scalar injection.  These deliberately consume their
     RNG streams differently (one draw layout per path), so the promise
@@ -40,19 +52,31 @@ from typing import Callable, Dict, List, Optional
 from ..engine import ExecutionContext, ParallelExecutor, SerialExecutor
 from ..errors import ValidationError
 from ..harness.campaign import Campaign, CampaignResult
-from ..io.json_store import campaign_to_dict
+from ..io.json_store import (
+    campaign_dict_from_entries,
+    campaign_to_dict,
+    session_to_dict,
+)
 from ..io.results_dir import ResultsDirectory
 from ..resilient import (
     ChaosSpec,
     ResilientCampaign,
     SimulatedCrash,
+    SupervisedExecutor,
     SupervisionPolicy,
 )
 from ..telemetry import Telemetry
 from .gates import GateResult, poisson_pair_gate
 
 #: Pairing names, in report order.
-PAIRINGS = ("executor", "telemetry", "injector", "resume")
+PAIRINGS = (
+    "executor",
+    "telemetry",
+    "injector",
+    "resume",
+    "broker",
+    "lease_resume",
+)
 
 #: Maximum leaf diffs a report keeps per pairing (enough to localize a
 #: divergence without dumping two whole campaigns).
@@ -185,6 +209,8 @@ class DifferentialRunner:
             "telemetry": self._pair_telemetry,
             "injector": self._pair_injector,
             "resume": self._pair_resume,
+            "broker": self._pair_broker,
+            "lease_resume": self._pair_lease_resume,
         }
 
     def pairings(self) -> List[str]:
@@ -212,9 +238,12 @@ class DifferentialRunner:
         )
         return Campaign(context=context, executor=executor).run()
 
-    def _byte_report(self, pairing, label_a, a, label_b, b) -> DiffReport:
+    def _byte_report(
+        self, pairing, label_a, a, label_b, b, bytes_b: Optional[str] = None
+    ) -> DiffReport:
         bytes_a = canonical_campaign_json(a)
-        bytes_b = canonical_campaign_json(b)
+        if bytes_b is None:
+            bytes_b = canonical_campaign_json(b)
         ok = bytes_a == bytes_b
         report = DiffReport(
             pairing=pairing,
@@ -318,5 +347,165 @@ class DifferentialRunner:
         if not ok:
             report.field_diffs = diff_encoded(
                 json.loads(fresh_bytes), json.loads(resumed_bytes)
+            )
+        return report
+
+    # -- scheduler pairings ------------------------------------------------------
+
+    def _campaign_plan(self):
+        from ..scheduler import CampaignSpec, plan_campaign
+
+        return plan_campaign(
+            CampaignSpec(seed=self.seed, time_scale=self.time_scale)
+        )
+
+    @staticmethod
+    def _run_leases(broker, leases) -> None:
+        """Fly one leased batch on a supervised pool; commit payloads."""
+        executor = SupervisedExecutor(
+            policy=SupervisionPolicy(backoff_s=0.0), workers=2
+        )
+
+        def settle(index, report, result):
+            lease = leases[index]
+            if report.ok:
+                session_result, sram_bits, snapshot = result
+                broker.complete(
+                    lease,
+                    result,
+                    payload={
+                        "key": lease.label,
+                        "attempts": report.attempts,
+                        "sram_bits": sram_bits,
+                        "session": session_to_dict(session_result),
+                        "metrics": snapshot,
+                    },
+                )
+            else:
+                broker.fail(lease, report.error or "failed")
+
+        executor.map([lease.unit for lease in leases], on_result=settle)
+
+    def _drain_in_batches(self, broker, worker: str, batch: int = 2) -> None:
+        while True:
+            leases = broker.lease(worker, limit=batch)
+            if not leases:
+                break
+            self._run_leases(broker, leases)
+
+    @staticmethod
+    def _assembled_json(broker, plan) -> str:
+        entries = broker.entries_for(plan.submission_id)
+        return json.dumps(
+            campaign_dict_from_entries(entries), sort_keys=True
+        )
+
+    def _pair_broker(self) -> DiffReport:
+        from ..scheduler import Broker, DirectoryStore
+
+        serial = self._fly(executor=SerialExecutor())
+        workdir = tempfile.mkdtemp(
+            prefix="repro-diff-broker-", dir=self._workdir
+        )
+        store = DirectoryStore(os.path.join(workdir, "store"))
+        plan = self._campaign_plan()
+        broker = Broker(store=store, broker_id="diff-broker")
+        broker.submit(plan)
+        # Two-unit lease batches: the campaign crosses the broker in
+        # shards, not one map call, and still must not change a byte.
+        self._drain_in_batches(broker, "diff-broker", batch=2)
+        return self._byte_report(
+            "broker",
+            "serial Campaign.run",
+            serial,
+            "broker-sharded (batches of 2, supervised pool)",
+            None,
+            bytes_b=self._assembled_json(broker, plan),
+        )
+
+    def _pair_lease_resume(self) -> DiffReport:
+        from ..scheduler import Broker, DirectoryStore
+
+        base = tempfile.mkdtemp(
+            prefix="repro-diff-lease-", dir=self._workdir
+        )
+        clock = {"now": 1_000_000.0}
+
+        def now() -> float:
+            return clock["now"]
+
+        # Fresh flight: one broker on its own store completes all units.
+        plan_fresh = self._campaign_plan()
+        fresh_broker = Broker(
+            store=DirectoryStore(os.path.join(base, "fresh"), clock=now),
+            broker_id="fresh",
+            clock=now,
+        )
+        fresh_broker.submit(plan_fresh)
+        self._drain_in_batches(fresh_broker, "fresh")
+        fresh_json = self._assembled_json(fresh_broker, plan_fresh)
+
+        # Shared store: broker A commits the first two units, leases the
+        # next two, then is abandoned with those leases still published.
+        shared = DirectoryStore(os.path.join(base, "shared"), clock=now)
+        plan_a = self._campaign_plan()
+        broker_a = Broker(
+            store=shared, broker_id="dead", clock=now, lease_ttl_s=30.0
+        )
+        broker_a.submit(plan_a)
+        self._run_leases(broker_a, broker_a.lease("dead", limit=2))
+        abandoned = broker_a.lease("dead", limit=2)
+
+        # Broker B on the same store: adopts A's commits at submit time,
+        # must NOT lease past A's live leases, and takes them over only
+        # once they expire.
+        plan_b = self._campaign_plan()
+        broker_b = Broker(
+            store=shared, broker_id="survivor", clock=now, lease_ttl_s=30.0
+        )
+        broker_b.submit(plan_b)
+        adopted = sum(
+            1
+            for unit in plan_b.units
+            if broker_b.unit_status(unit.unit_id) == "done"
+        )
+        blocked = broker_b.lease("survivor", limit=4)
+        for lease in blocked:  # should be none -- A's leases are live
+            broker_b.fail(lease, "leased past a live foreign lease")
+        clock["now"] += 31.0  # A's leases expire
+        self._drain_in_batches(broker_b, "survivor")
+        resumed_json = self._assembled_json(broker_b, plan_b)
+
+        ok_bytes = fresh_json == resumed_json
+        ok_pickup = (
+            len(abandoned) == 2 and adopted == 2 and not blocked
+        )
+        report = DiffReport(
+            pairing="lease_resume",
+            gates=[
+                GateResult(
+                    gate="differential/lease_resume",
+                    ok=ok_bytes,
+                    measured=(
+                        f"{len(fresh_json)} vs {len(resumed_json)} bytes"
+                    ),
+                    expected="byte-identical assembled campaigns",
+                    detail="single broker vs abandoned-lease takeover",
+                ),
+                GateResult(
+                    gate="differential/lease_resume/pickup",
+                    ok=ok_pickup,
+                    measured=(
+                        f"adopted={adopted}, abandoned={len(abandoned)}, "
+                        f"leased-past-live={len(blocked)}"
+                    ),
+                    expected="adopted=2, abandoned=2, leased-past-live=0",
+                    detail="commit adoption + lease-expiry takeover",
+                ),
+            ],
+        )
+        if not ok_bytes:
+            report.field_diffs = diff_encoded(
+                json.loads(fresh_json), json.loads(resumed_json)
             )
         return report

@@ -1,0 +1,56 @@
+"""Shared scheduler-test fixtures: tiny plans, fake clocks.
+
+Broker tests never *execute* work units -- scheduling is pure
+bookkeeping -- so the plans here carry trivial callables and the clocks
+are plain mutable floats, which keeps every property-based interleaving
+fast enough for hypothesis to explore by the hundreds.
+"""
+
+import pytest
+
+from repro.engine.executor import WorkUnit
+from repro.scheduler import CampaignPlan, PlannedUnit
+
+
+def unit_value(index: int) -> int:
+    """Module-level (picklable) stand-in for a session flight."""
+    return index * 10
+
+
+def make_plan(
+    n: int = 4,
+    config_hash: str = "feedfacefeedfacefeedface",
+    name: str = "",
+    priority: int = 0,
+) -> CampaignPlan:
+    prefix = config_hash[:12]
+    units = tuple(
+        PlannedUnit(
+            unit_id=f"{prefix}/u{i}",
+            label=f"u{i}",
+            seq=i,
+            unit=WorkUnit(key=f"u{i}", fn=unit_value, args=(i,)),
+        )
+        for i in range(n)
+    )
+    return CampaignPlan(
+        config_hash=config_hash, units=units, name=name, priority=priority
+    )
+
+
+class FakeClock:
+    """A settable monotonic/wall clock shared by broker and store."""
+
+    def __init__(self, start: float = 1_000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()

@@ -1,0 +1,103 @@
+"""CampaignSpec: validation, JSON round trip, hash identity."""
+
+import json
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.harness.campaign import Campaign
+from repro.scheduler import CampaignSpec
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = CampaignSpec()
+        assert spec.seed == 2023
+        assert spec.time_scale == 1.0
+        assert spec.vectorized is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"seed": "nope"},
+            {"seed": True},
+            {"time_scale": 0.0},
+            {"time_scale": -1.0},
+            {"time_scale": "fast"},
+            {"flux_per_cm2_s": -5.0},
+            {"priority": 1.5},
+            {"priority": False},
+        ],
+    )
+    def test_bad_fields_refused(self, kwargs):
+        with pytest.raises(SchedulerError):
+            CampaignSpec(**kwargs)
+
+    def test_time_scale_coerced_to_float(self):
+        assert isinstance(CampaignSpec(time_scale=1).time_scale, float)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_identity(self):
+        spec = CampaignSpec(
+            seed=7, time_scale=0.05, priority=3, name="night shift"
+        )
+        again = CampaignSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.submission_id == spec.submission_id
+
+    def test_unknown_keys_refused(self):
+        # A misspelled knob must never be silently dropped -- a typo'd
+        # "time_scale" would submit a full-length campaign.
+        with pytest.raises(SchedulerError, match="timescale"):
+            CampaignSpec.from_dict({"timescale": 0.01})
+
+    def test_non_object_refused(self):
+        with pytest.raises(SchedulerError):
+            CampaignSpec.from_dict([1, 2, 3])
+        with pytest.raises(SchedulerError):
+            CampaignSpec.from_json("not json at all {")
+
+    def test_to_dict_omits_unset_optionals(self):
+        data = CampaignSpec().to_dict()
+        assert "flux_per_cm2_s" not in data
+        assert "name" not in data
+        full = CampaignSpec(flux_per_cm2_s=1e5, name="x").to_dict()
+        assert full["flux_per_cm2_s"] == 1e5
+        assert full["name"] == "x"
+
+    def test_to_json_is_stable(self):
+        spec = CampaignSpec(seed=1, time_scale=0.5)
+        assert spec.to_json() == CampaignSpec(seed=1, time_scale=0.5).to_json()
+        json.loads(spec.to_json())  # well-formed
+
+
+class TestHashIdentity:
+    def test_spec_hash_equals_campaign_hash(self):
+        # The spec's identity IS the campaign's manifest/journal hash;
+        # if these ever drift, dedupe and resume pinning both lie.
+        spec = CampaignSpec(seed=11, time_scale=0.02)
+        campaign = Campaign(seed=11, time_scale=0.02)
+        assert spec.config_hash() == campaign.config_hash()
+
+    def test_priority_and_name_do_not_change_the_hash(self):
+        base = CampaignSpec(seed=3, time_scale=0.1)
+        decorated = CampaignSpec(
+            seed=3, time_scale=0.1, priority=9, name="hot"
+        )
+        assert base.config_hash() == decorated.config_hash()
+        assert base.submission_id == decorated.submission_id
+
+    def test_physics_changes_the_hash(self):
+        a = CampaignSpec(seed=3, time_scale=0.1)
+        assert a.config_hash() != CampaignSpec(seed=4, time_scale=0.1).config_hash()
+        assert a.config_hash() != CampaignSpec(seed=3, time_scale=0.2).config_hash()
+        assert (
+            a.config_hash()
+            != CampaignSpec(seed=3, time_scale=0.1, vectorized=False).config_hash()
+        )
+
+    def test_submission_id_shape(self):
+        sid = CampaignSpec().submission_id
+        assert sid.startswith("sub-")
+        assert len(sid) == len("sub-") + 12

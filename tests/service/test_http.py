@@ -1,0 +1,144 @@
+"""The service's JSON-over-HTTP endpoint.
+
+``_route`` is a pure function of (service, method, path, body), so most
+of the matrix runs without a socket; one test round-trips real bytes
+through ``start_http`` to cover the stream parser end to end.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.scheduler import CampaignSpec
+from repro.service.http import _route, start_http
+
+from .conftest import TIME_SCALE, make_service
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = make_service(tmp_path / "root", capacity=4)
+    yield svc
+    svc.journal.close()
+
+
+def parse(raw: bytes):
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ")[1])
+    headers = dict(
+        line.decode().split(": ", 1) for line in head.split(b"\r\n")[1:]
+    )
+    return status, headers, body
+
+
+class TestRoutes:
+    def test_status(self, service):
+        status, _, body = parse(_route(service, "GET", "/status", b""))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["broker"] == "broker-test"
+        assert payload["state"] == "serving"
+
+    def test_metrics_is_prometheus_text(self, service):
+        service.telemetry.count("scheduler.completed", 3)
+        status, headers, body = parse(_route(service, "GET", "/metrics", b""))
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert b"repro_scheduler_completed_total 3" in body
+
+    def test_submit_accepts_a_spec(self, service):
+        spec = CampaignSpec(time_scale=TIME_SCALE)
+        status, _, body = parse(
+            _route(service, "POST", "/submit", spec.to_json().encode())
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["submission_id"] == spec.submission_id
+        assert payload["deduped"] is False
+        assert service.broker.pending_count() == 4
+
+    def test_submit_dedupe_is_flagged(self, service):
+        spec = CampaignSpec(time_scale=TIME_SCALE)
+        raw = spec.to_json().encode()
+        _route(service, "POST", "/submit", raw)
+        _, _, body = parse(_route(service, "POST", "/submit", raw))
+        assert json.loads(body)["deduped"] is True
+
+    def test_submit_malformed_spec_is_400(self, service):
+        status, _, body = parse(
+            _route(service, "POST", "/submit", b'{"timescale": 1}')
+        )
+        assert status == 400
+        assert "timescale" in json.loads(body)["error"]
+
+    def test_submit_full_queue_is_503_with_retry_after(self, service):
+        spec = CampaignSpec(time_scale=TIME_SCALE)
+        _route(service, "POST", "/submit", spec.to_json().encode())
+        other = CampaignSpec(time_scale=TIME_SCALE / 2)
+        status, headers, body = parse(
+            _route(service, "POST", "/submit", other.to_json().encode())
+        )
+        assert status == 503
+        assert headers["Retry-After"] == "5"
+        assert json.loads(body)["busy"] is True
+        assert service.broker.pending_count() == 4  # nothing queued
+
+    def test_cancel_known_submission(self, service):
+        spec = CampaignSpec(time_scale=TIME_SCALE)
+        submission = service.submit_spec(spec)
+        status, _, body = parse(
+            _route(
+                service,
+                "POST",
+                "/cancel",
+                json.dumps(
+                    {"submission_id": submission.submission_id}
+                ).encode(),
+            )
+        )
+        assert status == 200
+        assert json.loads(body)["dropped"] == 4
+
+    def test_cancel_unknown_is_404(self, service):
+        status, _, _ = parse(
+            _route(
+                service,
+                "POST",
+                "/cancel",
+                b'{"submission_id": "sub-ghost"}',
+            )
+        )
+        assert status == 404
+
+    def test_method_and_route_errors(self, service):
+        assert parse(_route(service, "DELETE", "/status", b""))[0] == 405
+        assert parse(_route(service, "GET", "/nope", b""))[0] == 404
+
+
+class TestOverTheWire:
+    def test_real_socket_round_trip(self, service):
+        service.config.http_port = 0  # ephemeral
+
+        async def scenario():
+            server = await start_http(service)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(
+                    b"GET /status HTTP/1.1\r\n"
+                    b"Host: localhost\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+            finally:
+                server.close()
+                await server.wait_closed()
+            return raw
+
+        status, _, body = parse(asyncio.run(scenario()))
+        assert status == 200
+        assert json.loads(body)["broker"] == "broker-test"
