@@ -112,9 +112,31 @@ def measure_scheduler() -> Dict[str, float]:
     }
 
 
+def measure_codecs() -> Dict[str, float]:
+    from benchmarks.test_bench_codecs import (
+        BATCH,
+        VECTORIZED,
+        codec_batch,
+        scalar_classify,
+    )
+
+    metrics: Dict[str, float] = {"batch_words": float(BATCH)}
+    for name in VECTORIZED:
+        entry, data, masks, flips = codec_batch(name)
+        vectorized = entry.vectorized
+        vectorized_s = _timed(lambda: vectorized.classify_batch(data, flips))
+        scalar_s = _timed(lambda: scalar_classify(entry, data, masks))
+        key = name.replace("-", "_")
+        metrics[f"{key}_scalar_s"] = scalar_s
+        metrics[f"{key}_vectorized_s"] = vectorized_s
+        metrics[f"{key}_speedup_x"] = scalar_s / vectorized_s
+    return metrics
+
+
 SUITES: Dict[str, Callable[[], Dict[str, float]]] = {
     "engine": measure_engine,
     "scheduler": measure_scheduler,
+    "codecs": measure_codecs,
 }
 
 

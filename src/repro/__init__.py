@@ -42,10 +42,20 @@ Subpackages
 ``repro.resilient``
     Fault tolerance: checkpoint/resume journal, supervised execution,
     deterministic chaos injection.
+``repro.codecs``
+    Pluggable ECC design space: codec registry, DEC-TED/SEC-DAEC/BCH,
+    vectorized decoding, area/energy costs, the Pareto explorer sweep.
 ``repro.experiments``
     One driver per paper table and figure.
 """
 
+from .codecs import (
+    SweepSpec,
+    assemble_pareto,
+    get_codec,
+    list_codecs,
+    register_codec,
+)
 from .constants import NYC_FLUX_PER_CM2_HOUR, TNF_HALO_FLUX_PER_CM2_S
 from .engine import (
     ExecutionContext,
@@ -148,5 +158,10 @@ __all__ = [
     "canonical_campaign_json",
     "default_registry",
     "run_suites",
+    "SweepSpec",
+    "assemble_pareto",
+    "get_codec",
+    "list_codecs",
+    "register_codec",
     "__version__",
 ]

@@ -47,8 +47,25 @@ Subcommands::
         checks.  Prints the gate report, writes it as JSON (default
         conformance.json), and exits 4 if any gate fails.
 
+    repro-campaign explore OUTDIR [--codecs LIST] [--points LIST]
+                                  [--workloads LIST] [--strikes N]
+                                  [--seed N] [--interleave N] [--name S]
+                                  [--workers N] [--resume | --fresh]
+        Run a codec x voltage x workload design-space sweep
+        (repro.codecs) through the scheduler broker: every cell is a
+        leased work unit committed to OUTDIR/scheduler, so an
+        interrupted sweep (exit 143) resumes with --resume and loses
+        at most the in-flight cells.  Cells run real
+        encode/corrupt/decode arithmetic against the calibrated MBU
+        cluster model; the output is pareto.json (per-cell FIT tables
+        with Garwood/Wilson intervals plus the FIT-vs-area-vs-energy
+        Pareto front per operating point and workload) and
+        fit_cells.csv.  Split-half consistency gates guard every cell;
+        exit 4 when any fails.  --workers N runs cells on separate
+        processes; pareto.json is byte-identical to the serial run.
+
     repro-campaign serve ROOT [--workers N] [--capacity N] [--lease-ttl S]
-                              [--http PORT] [--idle-exit S]
+                              [--http PORT] [--idle-exit S] [--validate]
         Run a campaign service on ROOT: watch ROOT/jobs for dropped
         spec files (and optionally a local HTTP port), lease units
         from the bounded priority queue to a supervised worker pool,
@@ -57,7 +74,10 @@ Subcommands::
         of the same spec.  Two `serve` processes on one ROOT shard the
         queue; a killed one's leases expire and are picked up.
         SIGTERM drains in-flight leases, flushes the scheduling
-        journal, and exits 143 with a resume hint.
+        journal, and exits 143 with a resume hint.  --validate runs
+        the post-job gates (repro.validate.postjob) on every assembled
+        submission, writing validation.json next to campaign.json and
+        surfacing the verdict in status.json.
 
     repro-campaign submit ROOT [--spec FILE | --seed N --time-scale X
                                --priority P --name NAME] [--wait [S]]
@@ -88,7 +108,12 @@ from . import __version__
 from .core.analysis import CampaignAnalysis
 from .core.report import Table
 from .engine import ExecutionContext
-from .errors import CampaignInterrupted, ReproError, SchedulerBusy
+from .errors import (
+    CampaignInterrupted,
+    ConfigurationError,
+    ReproError,
+    SchedulerBusy,
+)
 from .harness.campaign import CampaignResult
 from .injection.events import OutcomeKind
 from .io.results_dir import ResultsDirectory
@@ -424,6 +449,218 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else EXIT_GATE_FAILURES
 
 
+def _sweep_spec_from_args(args: argparse.Namespace):
+    """A codecs SweepSpec from the explore flags (None = default axis)."""
+    from .codecs import SweepSpec
+
+    kwargs = {}
+    if args.codecs:
+        kwargs["codecs"] = tuple(
+            token.strip() for token in args.codecs.split(",") if token.strip()
+        )
+    if args.points:
+        points = []
+        for token in args.points.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            pmd, sep, soc = token.partition(":")
+            try:
+                if not sep:
+                    raise ValueError(token)
+                points.append((int(pmd), int(soc)))
+            except ValueError:
+                raise ConfigurationError(
+                    f"malformed operating point {token!r}; --points wants "
+                    f"PMD:SOC millivolt pairs like 980:950,930:925"
+                ) from None
+        kwargs["points"] = tuple(points)
+    if args.workloads:
+        kwargs["workloads"] = tuple(
+            token.strip()
+            for token in args.workloads.split(",")
+            if token.strip()
+        )
+    if args.strikes is not None:
+        kwargs["strikes"] = args.strikes
+    if args.interleave is not None:
+        kwargs["interleave"] = args.interleave
+    return SweepSpec(seed=args.seed, name=args.name or "", **kwargs)
+
+
+def _explore_flags(args: argparse.Namespace) -> str:
+    """The explore flags to repeat in a resume hint."""
+    flags = ""
+    for name in ("codecs", "points", "workloads", "name"):
+        value = getattr(args, name)
+        if value:
+            flags += f" --{name} {value}"
+    for name in ("strikes", "interleave"):
+        value = getattr(args, name)
+        if value is not None:
+            flags += f" --{name} {value}"
+    flags += f" --seed {args.seed}"
+    if args.workers > 1:
+        flags += f" --workers {args.workers}"
+    return flags
+
+
+def _write_fit_cells(outdir: str, document: dict) -> str:
+    """Flatten pareto.json's cells into fit_cells.csv; returns the path."""
+    import os
+
+    path = os.path.join(outdir, "fit_cells.csv")
+    header = [
+        "label",
+        "codec",
+        "pmd_mv",
+        "soc_mv",
+        "workload",
+        "events",
+        "fit_due",
+        "fit_sdc",
+        "fit_total",
+        "fit_total_lower",
+        "fit_total_upper",
+        "silent_fraction",
+        "area_gates",
+        "energy_pj",
+        "on_front",
+    ]
+    lines = [",".join(header)]
+    for cell in document["cells"]:
+        lines.append(
+            ",".join(
+                str(value)
+                for value in (
+                    cell["label"],
+                    cell["codec"],
+                    cell["pmd_mv"],
+                    cell["soc_mv"],
+                    cell["workload"],
+                    cell["events"],
+                    cell["fit_due"]["value"],
+                    cell["fit_sdc"]["value"],
+                    cell["fit_total"]["value"],
+                    cell["fit_total"]["lower"],
+                    cell["fit_total"]["upper"],
+                    cell["silent_fraction"]["value"],
+                    cell["cost"]["area_gates"],
+                    cell["cost"]["energy_pj"],
+                    int(cell["on_front"]),
+                )
+            )
+        )
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return path
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import shutil
+
+    from .codecs import assemble_pareto, plan_sweep
+    from .engine.executor import resolve_executor
+    from .scheduler import Broker, DirectoryStore
+
+    spec = _sweep_spec_from_args(args)
+    scheduler_dir = os.path.join(args.outdir, "scheduler")
+    committed = (
+        DirectoryStore(scheduler_dir).committed_units()
+        if os.path.isdir(scheduler_dir)
+        else []
+    )
+    if args.resume and not committed:
+        print(
+            f"error: no committed cells under {scheduler_dir!r} to resume "
+            f"from (run without --resume first)",
+            file=sys.stderr,
+        )
+        return 1
+    if committed and not args.resume and not args.fresh:
+        # Rerunning over a half-swept directory silently mixes two
+        # sweeps' commits; make the operator choose, exactly like
+        # `run` does for its checkpoint journal.
+        print(
+            f"error: {args.outdir!r} already holds {len(committed)} "
+            f"committed sweep cell(s); resume the sweep with --resume, or "
+            f"pass --fresh to discard the commits and start over",
+            file=sys.stderr,
+        )
+        return 1
+    if args.fresh and os.path.isdir(scheduler_dir):
+        shutil.rmtree(scheduler_dir)
+    os.makedirs(scheduler_dir, exist_ok=True)
+    broker = Broker(
+        lease_ttl_s=3600.0,
+        store=DirectoryStore(scheduler_dir),
+        broker_id=f"explore-{os.getpid()}",
+    )
+    plan = plan_sweep(spec)
+    submission = broker.submit(plan)
+    sid = submission.submission_id
+    total = len(plan.units)
+    recovered = total - broker.pending_count()
+    executor = resolve_executor(args.workers)
+    print(
+        f"exploring {total} cell(s): {len(spec.codecs)} codec(s) x "
+        f"{len(spec.points)} point(s) x {len(spec.workloads)} workload(s), "
+        f"{spec.strikes} strikes/cell, executor={executor.name}, "
+        f"submission {sid}"
+    )
+    if recovered:
+        print(f"  recovered {recovered} committed cell(s) from {scheduler_dir}")
+    batch = max(args.workers, 1)
+    done = recovered
+    try:
+        with _interruptible():
+            while True:
+                leases = broker.lease("explore-cli", limit=batch)
+                if not leases:
+                    break
+                results = executor.map([lease.unit for lease in leases])
+                for lease, result in zip(leases, results):
+                    # run_cell payloads are JSON-shaped; committing them
+                    # verbatim makes the store the checkpoint journal.
+                    broker.complete(lease, result, payload=result)
+                done += len(leases)
+                print(f"  {done}/{total} cell(s) committed")
+    except CampaignInterrupted as exc:
+        print(
+            f"interrupted ({exc}); completed cells are committed under "
+            f"{scheduler_dir} -- resume with:\n"
+            f"  repro-campaign explore {args.outdir} --resume"
+            f"{_explore_flags(args)}",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    document = assemble_pareto(spec, broker.entries_for(sid))
+    pareto_path = os.path.join(args.outdir, "pareto.json")
+    with open(pareto_path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    csv_path = _write_fit_cells(args.outdir, document)
+    print(f"  wrote {pareto_path}")
+    print(f"  wrote {csv_path}")
+    front_codecs = sorted({c["codec"] for c in document["pareto"]})
+    print(
+        f"pareto front: {len(document['pareto'])} of "
+        f"{len(document['cells'])} cell(s), codecs "
+        f"{', '.join(front_codecs)}"
+    )
+    failed = [gate for gate in document["gates"] if not gate["ok"]]
+    if failed:
+        for gate in failed:
+            print(
+                f"gate FAILED: {gate['gate']}: {gate['detail']}",
+                file=sys.stderr,
+            )
+        return EXIT_GATE_FAILURES
+    return 0
+
+
 def _spec_from_args(args: argparse.Namespace):
     """A CampaignSpec from --spec FILE or the loose submit flags."""
     from .scheduler import CampaignSpec
@@ -455,6 +692,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         broker_id=args.broker_id,
         timeout_s=args.timeout,
         retries=args.retries,
+        validate=args.validate,
     )
     service = CampaignService(config, telemetry=Telemetry())
     where = (
@@ -764,6 +1002,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.set_defaults(func=_cmd_validate)
 
+    explore = sub.add_parser(
+        "explore",
+        help="run a codec x voltage x workload design-space sweep "
+        "through the scheduler broker (resumable; exit 4 on failed "
+        "consistency gates)",
+    )
+    explore.add_argument("outdir")
+    explore.add_argument(
+        "--codecs",
+        default=None,
+        metavar="LIST",
+        help="comma-separated registered codec names "
+        "(default: parity,secded,dected,sec-daec,bch-t2)",
+    )
+    explore.add_argument(
+        "--points",
+        default=None,
+        metavar="LIST",
+        help="comma-separated PMD:SOC millivolt pairs "
+        "(default: 980:950,930:925,920:920,790:950)",
+    )
+    explore.add_argument(
+        "--workloads",
+        default=None,
+        metavar="LIST",
+        help="comma-separated NPB workload names (default: CG,FT,EP)",
+    )
+    explore.add_argument(
+        "--strikes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="particle strikes per cell (default: 2000)",
+    )
+    explore.add_argument("--seed", type=int, default=2023)
+    explore.add_argument(
+        "--interleave",
+        type=int,
+        default=None,
+        metavar="N",
+        help="physical bit interleaving degree: an MBU cluster of size "
+        "s lands as ceil(s/N) adjacent flips per word (default: 1)",
+    )
+    explore.add_argument("--name", default=None, help="display name")
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="cells to run concurrently (0/1 = serial; pareto.json is "
+        "byte-identical either way)",
+    )
+    explore_mode = explore.add_mutually_exclusive_group()
+    explore_mode.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from OUTDIR's committed cells",
+    )
+    explore_mode.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard OUTDIR's committed cells and start over (without "
+        "this, rerunning a half-swept OUTDIR is refused)",
+    )
+    explore.set_defaults(func=_cmd_explore)
+
     serve = sub.add_parser(
         "serve",
         help="run a campaign service: watch ROOT/jobs, lease work to a "
@@ -833,6 +1136,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="retries per unit for transient failures (default: 2)",
+    )
+    serve.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the post-job gates on every assembled submission "
+        "(validation.json next to campaign.json; verdict in "
+        "status.json)",
     )
     serve.set_defaults(func=_cmd_serve)
 

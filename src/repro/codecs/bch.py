@@ -1,0 +1,80 @@
+"""Extended BCH codes over GF(2^8), shortened to 64 data bits.
+
+``BchCodec(t)`` corrects every pattern of weight <= t and *guarantees*
+detection of weight t + 1: the generator includes the ``(x + 1)``
+factor alongside the odd minimal polynomials ``m1, m3, ..., m_{2t-1}``,
+giving roots ``alpha^0 .. alpha^{2t}`` and designed distance
+``2t + 2`` (even-weight extended BCH).  Without that factor a plain
+BCH code has distance ``2t + 1`` and a weight-(t+1) error can land
+exactly between codewords; with it, weight t + 1 can neither be a
+codeword offset nor alias onto a weight-<= t correction, so it always
+raises DETECTED_UNCORRECTABLE.
+
+Geometries (k = 64):
+
+* ``t=2``: r = 1 + 8 + 8 = 17 check bits, (81,64), distance >= 6.
+* ``t=3``: r = 1 + 8 + 8 + 8 = 25 check bits, (89,64), distance >= 8.
+
+Weight t + 2 may miscorrect through a weight-(2t+2) codeword -- the
+aliasing pathology, two weights beyond the correction radius.
+
+The t = 3 syndrome table covers all ~117k weight-<=3 patterns over 89
+bits; building it takes on the order of a second, which is why the
+registry caches codec instances.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from ..errors import CodecError
+from .gf import GF8_PRIM, GF2m, gf2_poly_degree, gf2_poly_mod, gf2_poly_mul, minimal_polynomial
+from .linear import SyndromeTableCodec, patterns_up_to_weight
+
+#: Data bits of the shortened organizations.
+BCH_DATA_BITS = 64
+
+
+@lru_cache(maxsize=None)
+def _bch_generator(t: int) -> int:
+    """Generator polynomial ``(x+1) * m1 * m3 * ... * m_{2t-1}``."""
+    field = GF2m(8, GF8_PRIM)
+    generator = minimal_polynomial(field, 0)
+    for j in range(1, 2 * t, 2):
+        generator = gf2_poly_mul(generator, minimal_polynomial(field, j))
+    return generator
+
+
+@lru_cache(maxsize=None)
+def _bch_columns(t: int, data_bits: int) -> Tuple[int, ...]:
+    """Systematic parity-check columns: ``x^(r + i) mod g(x)``."""
+    generator = _bch_generator(t)
+    r = gf2_poly_degree(generator)
+    return tuple(
+        gf2_poly_mod(1 << (r + i), generator) for i in range(data_bits)
+    )
+
+
+class BchCodec(SyndromeTableCodec):
+    """Extended BCH(t): corrects weight <= t, detects weight t + 1."""
+
+    def __init__(self, t: int = 2) -> None:
+        if t not in (2, 3):
+            raise CodecError(f"BchCodec supports t in (2, 3), got {t}")
+        self.t = int(t)
+        columns = _bch_columns(self.t, BCH_DATA_BITS)
+        check_bits = gf2_poly_degree(_bch_generator(self.t))
+        word_bits = BCH_DATA_BITS + check_bits
+        super().__init__(
+            BCH_DATA_BITS,
+            check_bits,
+            columns,
+            patterns_up_to_weight(word_bits, self.t),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BchCodec(t={self.t}, data_bits={self.data_bits}, "
+            f"check_bits={self.check_bits})"
+        )

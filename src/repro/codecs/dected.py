@@ -1,0 +1,74 @@
+"""DEC-TED(80,64): double-error-correcting, triple-error-detecting BCH.
+
+The code is the 2-error-correcting BCH code over GF(2^7) (natural
+length 127), shortened to 64 data bits and extended with an overall
+even-parity bit.  Generator ``g(x) = (x + 1) * m1(x) * m3(x)`` has
+degree 15 and roots ``alpha^0 .. alpha^4``, so the BCH bound gives
+designed distance >= 6: every pattern of weight <= 2 is correctable
+with a distinct syndrome, and every weight-3 pattern is detected
+(it cannot reach within distance 2 of another codeword).  Weight-4
+patterns may alias onto a weight-<=2 table entry via a weight-6
+codeword -- the documented miscorrection pathology of this code,
+the DEC-TED analogue of SECDED's silent triples.
+
+Shortening preserves minimum distance (a shortened codeword is a full
+codeword with zeros in the dropped positions), and the extra overall
+parity row only ever adds weight, so the distance argument carries to
+the (80,64) geometry used here.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+from .gf import (
+    GF7_PRIM,
+    GF2m,
+    gf2_poly_mod,
+    gf2_poly_mul,
+    minimal_polynomial,
+)
+from .linear import SyndromeTableCodec, patterns_up_to_weight
+
+#: Data bits of the (80,64) organization.
+DECTED_DATA_BITS = 64
+#: 15 BCH remainder bits + 1 overall parity bit.
+DECTED_CHECK_BITS = 16
+
+
+@lru_cache(maxsize=None)
+def _dected_columns(data_bits: int) -> Tuple[int, ...]:
+    """Parity-check columns for the shortened extended BCH code.
+
+    Column ``i`` is the remainder of ``x^(15 + i)`` modulo ``g(x)``
+    (the systematic-encoding remainder for data position ``i``) with
+    bit 15 set for the overall parity row.
+    """
+    field = GF2m(7, GF7_PRIM)
+    generator = gf2_poly_mul(
+        gf2_poly_mul(minimal_polynomial(field, 0), minimal_polynomial(field, 1)),
+        minimal_polynomial(field, 3),
+    )
+    r_cyclic = 15
+    columns = []
+    for i in range(data_bits):
+        remainder = gf2_poly_mod(1 << (r_cyclic + i), generator)
+        columns.append(remainder | (1 << r_cyclic))
+    return tuple(columns)
+
+
+class DecTedCodec(SyndromeTableCodec):
+    """DEC-TED(80,64): corrects all weight-1/2 errors, detects weight 3."""
+
+    def __init__(self) -> None:
+        word_bits = DECTED_DATA_BITS + DECTED_CHECK_BITS
+        super().__init__(
+            DECTED_DATA_BITS,
+            DECTED_CHECK_BITS,
+            _dected_columns(DECTED_DATA_BITS),
+            patterns_up_to_weight(word_bits, 2),
+        )
+
+    def __repr__(self) -> str:
+        return "DecTedCodec(data_bits=64, check_bits=16)"

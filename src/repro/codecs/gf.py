@@ -1,0 +1,131 @@
+"""GF(2) polynomial and GF(2^m) field arithmetic for codec construction.
+
+The DEC-TED and BCH codecs are shortened cyclic codes: their
+parity-check columns are remainders of ``x^i`` modulo a generator
+polynomial built from minimal polynomials over GF(2^m).  Everything
+here works on plain python ints used as coefficient bitmasks (bit ``i``
+is the coefficient of ``x^i``), matching the integer bit-twiddling
+idiom of :mod:`repro.sram.protection`.
+
+Construction happens once per codec at registry time, so clarity beats
+speed; the decode hot path never touches this module.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import CodecError
+
+#: Primitive polynomial x^7 + x^3 + 1 for GF(2^7) (DEC-TED over n=127).
+GF7_PRIM = 0x89
+#: Primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 for GF(2^8) (BCH, n=255).
+GF8_PRIM = 0x11D
+
+
+def gf2_poly_degree(poly: int) -> int:
+    """Degree of a GF(2) polynomial bitmask (-1 for the zero polynomial)."""
+    return poly.bit_length() - 1
+
+
+def gf2_poly_mul(a: int, b: int) -> int:
+    """Carry-less product of two GF(2) polynomials."""
+    result = 0
+    shift = 0
+    while b:
+        if b & 1:
+            result ^= a << shift
+        b >>= 1
+        shift += 1
+    return result
+
+
+def gf2_poly_mod(a: int, mod: int) -> int:
+    """Remainder of *a* divided by *mod* over GF(2)."""
+    if mod <= 0:
+        raise CodecError("modulus polynomial must be nonzero")
+    deg = gf2_poly_degree(mod)
+    while gf2_poly_degree(a) >= deg:
+        a ^= mod << (gf2_poly_degree(a) - deg)
+    return a
+
+
+class GF2m:
+    """The finite field GF(2^m) with exp/log tables over a primitive root.
+
+    ``exp[i] = alpha^i`` and ``log[alpha^i] = i`` for the primitive
+    element ``alpha = x``; the exp table is doubled in length so
+    products ``exp[log[a] + log[b]]`` never need an explicit modulo.
+    """
+
+    def __init__(self, m: int, prim_poly: int) -> None:
+        if m < 2 or m > 16:
+            raise CodecError(f"field degree {m} outside supported range 2..16")
+        if gf2_poly_degree(prim_poly) != m:
+            raise CodecError(
+                f"primitive polynomial {prim_poly:#x} has degree "
+                f"{gf2_poly_degree(prim_poly)}, expected {m}"
+            )
+        self.m = m
+        self.order = (1 << m) - 1
+        self.prim_poly = prim_poly
+        exp: List[int] = [0] * (2 * self.order)
+        log: List[int] = [0] * (1 << m)
+        value = 1
+        for i in range(self.order):
+            exp[i] = value
+            log[value] = i
+            value <<= 1
+            if value >> m:
+                value ^= prim_poly
+        if value != 1:
+            raise CodecError(f"{prim_poly:#x} is not primitive over GF(2^{m})")
+        for i in range(self.order, 2 * self.order):
+            exp[i] = exp[i - self.order]
+        self.exp = exp
+        self.log = log
+
+    def mul(self, a: int, b: int) -> int:
+        """Field product of two elements."""
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[self.log[a] + self.log[b]]
+
+    def power(self, exponent: int) -> int:
+        """``alpha^exponent`` for the primitive element alpha."""
+        return self.exp[exponent % self.order]
+
+
+def minimal_polynomial(field: GF2m, power: int) -> int:
+    """Minimal polynomial of ``alpha^power`` over GF(2), as a bitmask.
+
+    Built as ``prod (x + alpha^c)`` over the conjugacy class
+    ``{power * 2^i mod (2^m - 1)}``; the product is computed with field
+    coefficients and must collapse to a GF(2) polynomial (all
+    coefficients 0 or 1) -- anything else signals a broken field table.
+    ``power=0`` yields ``x + 1``.
+    """
+    power %= field.order
+    conjugates = []
+    c = power
+    while c not in conjugates:
+        conjugates.append(c)
+        c = (c * 2) % field.order
+    # Coefficient list over the field, degree rising with index.
+    coeffs: List[int] = [1]
+    for c in conjugates:
+        root = field.power(c)
+        nxt = [0] * (len(coeffs) + 1)
+        for i, coeff in enumerate(coeffs):
+            nxt[i + 1] ^= coeff
+            nxt[i] ^= field.mul(coeff, root)
+        coeffs = nxt
+    poly = 0
+    for i, coeff in enumerate(coeffs):
+        if coeff not in (0, 1):
+            raise CodecError(
+                f"minimal polynomial of alpha^{power} left field "
+                f"coefficient {coeff:#x}"
+            )
+        poly |= coeff << i
+    return poly

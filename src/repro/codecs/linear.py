@@ -1,0 +1,181 @@
+"""Systematic linear block codes driven by a syndrome lookup table.
+
+Every codec added by the design-space subsystem (DEC-TED, SEC-DAEC,
+BCH) is a systematic linear code: data bits occupy codeword positions
+``[0, k)``, check bits occupy ``[k, k + r)``, and the parity-check
+matrix columns for the check positions are unit vectors.  Such a code
+is fully described by its ``k`` data columns (the r-bit syndrome each
+data position contributes) plus the set of error patterns it promises
+to correct.
+
+:class:`SyndromeTableCodec` turns that description into a working
+:class:`~repro.sram.protection.Codec`: it derives the H-matrix rows,
+precomputes a syndrome -> flip-mask table over the declared correctable
+patterns, and validates at construction time that those patterns have
+distinct nonzero syndromes (the injectivity that makes the correction
+promise sound).  Any pattern outside the table either lands on syndrome
+zero / an unused syndrome (detected or invisible) or *aliases* onto a
+table entry and is miscorrected -- the same arithmetic-emergent SILENT
+pathology the SECDED codec exhibits for triples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, Sequence, Tuple
+
+from ..errors import CodecError
+from ..sram.protection import Codec, CodecResult, DecodeStatus
+
+
+def _parity(value: int) -> int:
+    """Parity (popcount mod 2) of a nonnegative integer."""
+    return bin(value).count("1") & 1
+
+
+def patterns_up_to_weight(word_bits: int, max_weight: int) -> Iterator[int]:
+    """All nonzero flip masks over *word_bits* with weight <= *max_weight*."""
+    for weight in range(1, max_weight + 1):
+        for indices in itertools.combinations(range(word_bits), weight):
+            mask = 0
+            for idx in indices:
+                mask |= 1 << idx
+            yield mask
+
+
+def adjacent_pair_patterns(word_bits: int) -> Iterator[int]:
+    """All flip masks of two adjacent codeword bits, including the
+    ``word_bits - 1 -> 0`` wraparound pair (a word is a ring as far as
+    physically adjacent cells are concerned once column muxing folds
+    the array)."""
+    for pos in range(word_bits - 1):
+        yield 0b11 << pos
+    yield (1 << (word_bits - 1)) | 1
+
+
+class SyndromeTableCodec(Codec):
+    """Systematic linear code with table-driven syndrome decoding.
+
+    Parameters
+    ----------
+    data_bits, check_bits:
+        The (k, r) geometry; the codeword is ``r + k`` bits with data in
+        the low ``k`` positions.
+    data_columns:
+        ``k`` parity-check columns, one r-bit value per data position.
+    correctable_patterns:
+        Iterable of n-bit flip masks the code corrects.  Their syndromes
+        must be distinct and nonzero or construction raises
+        :class:`~repro.errors.CodecError`.
+    """
+
+    def __init__(
+        self,
+        data_bits: int,
+        check_bits: int,
+        data_columns: Sequence[int],
+        correctable_patterns: Iterable[int],
+    ) -> None:
+        if data_bits <= 0 or check_bits <= 0:
+            raise CodecError("codec needs positive data and check bit counts")
+        if len(data_columns) != data_bits:
+            raise CodecError(
+                f"expected {data_bits} data columns, got {len(data_columns)}"
+            )
+        self.data_bits = int(data_bits)
+        self.check_bits = int(check_bits)
+        for i, column in enumerate(data_columns):
+            if column <= 0 or column >> check_bits:
+                raise CodecError(
+                    f"data column {i} value {column:#x} outside "
+                    f"(0, 2^{check_bits})"
+                )
+        self.data_columns: Tuple[int, ...] = tuple(int(c) for c in data_columns)
+        # Row j of H as a codeword mask: the data positions whose column
+        # has bit j set, plus the check position k + j itself.
+        data_masks = []
+        for j in range(check_bits):
+            mask = 0
+            for i, column in enumerate(self.data_columns):
+                if (column >> j) & 1:
+                    mask |= 1 << i
+            data_masks.append(mask)
+        self.data_masks: Tuple[int, ...] = tuple(data_masks)
+        self.h_rows: Tuple[int, ...] = tuple(
+            data_masks[j] | (1 << (data_bits + j)) for j in range(check_bits)
+        )
+        self.syndrome_table: Dict[int, int] = self._build_table(
+            correctable_patterns
+        )
+
+    # -- construction --------------------------------------------------------
+
+    def _column_syndrome(self, position: int) -> int:
+        if position < self.data_bits:
+            return self.data_columns[position]
+        return 1 << (position - self.data_bits)
+
+    def _pattern_syndrome(self, pattern: int) -> int:
+        syndrome = 0
+        remaining = pattern
+        while remaining:
+            low = remaining & -remaining
+            syndrome ^= self._column_syndrome(low.bit_length() - 1)
+            remaining ^= low
+        return syndrome
+
+    def _build_table(self, patterns: Iterable[int]) -> Dict[int, int]:
+        table: Dict[int, int] = {}
+        owners: Dict[int, int] = {}
+        for pattern in patterns:
+            if pattern <= 0 or pattern >> self.word_bits:
+                raise CodecError(
+                    f"correctable pattern {pattern:#x} outside the "
+                    f"{self.word_bits}-bit codeword"
+                )
+            syndrome = self._pattern_syndrome(pattern)
+            if syndrome == 0:
+                raise CodecError(
+                    f"correctable pattern {pattern:#x} has zero syndrome "
+                    "(it is a codeword)"
+                )
+            if syndrome in owners and owners[syndrome] != pattern:
+                raise CodecError(
+                    f"patterns {owners[syndrome]:#x} and {pattern:#x} "
+                    f"collide on syndrome {syndrome:#x}"
+                )
+            owners[syndrome] = pattern
+            table[syndrome] = pattern
+        return table
+
+    # -- codec interface -----------------------------------------------------
+
+    def encode(self, data: int) -> int:
+        self._check_data(data)
+        checks = 0
+        for j, mask in enumerate(self.data_masks):
+            checks |= _parity(data & mask) << j
+        return data | (checks << self.data_bits)
+
+    def decode(self, codeword: int) -> CodecResult:
+        self._check_codeword(codeword)
+        syndrome = 0
+        for j, row in enumerate(self.h_rows):
+            syndrome |= _parity(codeword & row) << j
+        data_mask = (1 << self.data_bits) - 1
+        if syndrome == 0:
+            return CodecResult(DecodeStatus.CLEAN, codeword & data_mask)
+        flips = self.syndrome_table.get(syndrome)
+        if flips is not None:
+            corrected = codeword ^ flips
+            return CodecResult(DecodeStatus.CORRECTED, corrected & data_mask)
+        return CodecResult(
+            DecodeStatus.DETECTED_UNCORRECTABLE, codeword & data_mask
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(data_bits={self.data_bits}, "
+            f"check_bits={self.check_bits}, "
+            f"correctable={len(self.syndrome_table)})"
+        )

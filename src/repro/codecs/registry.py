@@ -1,0 +1,214 @@
+"""String-keyed codec registry: the stable plugin API of ``repro.codecs``.
+
+The registry is the one place the rest of the system (explorer sweeps,
+differential pairings, benchmarks, CLI) learns what codecs exist.  Each
+entry bundles three factories:
+
+* ``factory``        -- the scalar :class:`~repro.sram.protection.Codec`
+  (always the semantic reference);
+* ``vector_factory`` -- the batched decoder; defaults to
+  :class:`~repro.codecs.vector.ScalarFallbackVectorized`, so a plugin
+  is *correct* the moment it registers and fast when it cares;
+* ``cost_factory``   -- the area/energy model; defaults to
+  :func:`~repro.codecs.cost.probe_cost`.
+
+Instances are built lazily and cached per registered name (BCH t=3
+carries a ~117k-entry syndrome table; building it once is plenty).
+
+The built-in ``parity`` and ``secded`` entries adapt the codecs from
+:mod:`repro.sram.protection` **unchanged** -- they are the paper's
+Table 1 protection and the conformance anchor; the registry wraps, it
+does not fork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import CodecError
+from ..sram.protection import Codec, ParityCodec, SecdedCodec
+from .bch import BchCodec
+from .cost import (
+    CodecCost,
+    parity_cost,
+    probe_cost,
+    secded_cost,
+    table_codec_cost,
+)
+from .dected import DecTedCodec
+from .linear import SyndromeTableCodec
+from .secdaec import SecDaecCodec
+from .vector import (
+    ScalarFallbackVectorized,
+    VectorizedCodec,
+    VectorizedParity,
+    VectorizedSecded,
+    VectorizedTableCodec,
+)
+
+CodecFactory = Callable[[], Codec]
+VectorFactory = Callable[[Codec], VectorizedCodec]
+CostFactory = Callable[[str, Codec], CodecCost]
+
+
+@dataclass(frozen=True)
+class CodecPlugin:
+    """Immutable registration record for one codec name."""
+
+    name: str
+    description: str
+    factory: CodecFactory
+    vector_factory: VectorFactory
+    cost_factory: CostFactory
+
+
+class RegisteredCodec:
+    """Lazily-built codec bundle: scalar + vectorized + cost model."""
+
+    def __init__(self, plugin: CodecPlugin) -> None:
+        self.plugin = plugin
+        self._codec: Optional[Codec] = None
+        self._vectorized: Optional[VectorizedCodec] = None
+        self._cost: Optional[CodecCost] = None
+
+    @property
+    def name(self) -> str:
+        return self.plugin.name
+
+    @property
+    def description(self) -> str:
+        return self.plugin.description
+
+    @property
+    def codec(self) -> Codec:
+        if self._codec is None:
+            self._codec = self.plugin.factory()
+        return self._codec
+
+    @property
+    def vectorized(self) -> VectorizedCodec:
+        if self._vectorized is None:
+            self._vectorized = self.plugin.vector_factory(self.codec)
+        return self._vectorized
+
+    @property
+    def cost(self) -> CodecCost:
+        if self._cost is None:
+            self._cost = self.plugin.cost_factory(self.name, self.codec)
+        return self._cost
+
+    def __repr__(self) -> str:
+        return f"RegisteredCodec({self.name!r})"
+
+
+_REGISTRY: Dict[str, RegisteredCodec] = {}
+
+
+def register_codec(
+    name: str,
+    factory: CodecFactory,
+    *,
+    description: str = "",
+    vector_factory: Optional[VectorFactory] = None,
+    cost_factory: Optional[CostFactory] = None,
+    replace: bool = False,
+) -> CodecPlugin:
+    """Register a codec under a stable string key.
+
+    Raises :class:`~repro.errors.CodecError` on a duplicate name unless
+    ``replace=True`` (tests and downstream experiments swap entries in
+    with that).
+    """
+    if not name or "/" in name or any(ch.isspace() for ch in name):
+        raise CodecError(f"invalid codec name {name!r}")
+    if name in _REGISTRY and not replace:
+        raise CodecError(
+            f"codec {name!r} is already registered; pass replace=True "
+            "to override"
+        )
+    plugin = CodecPlugin(
+        name=name,
+        description=description,
+        factory=factory,
+        vector_factory=vector_factory or ScalarFallbackVectorized,
+        cost_factory=cost_factory or probe_cost,
+    )
+    _REGISTRY[name] = RegisteredCodec(plugin)
+    return plugin
+
+
+def unregister_codec(name: str) -> None:
+    """Remove a registered codec (primarily for test isolation)."""
+    if name not in _REGISTRY:
+        raise CodecError(f"unknown codec {name!r}")
+    del _REGISTRY[name]
+
+
+def get_codec(name: str) -> RegisteredCodec:
+    """Look up a registered codec bundle by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise CodecError(
+            f"unknown codec {name!r}; registered: {known}"
+        ) from None
+
+
+def list_codecs() -> List[str]:
+    """Sorted names of all registered codecs."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    register_codec(
+        "parity",
+        lambda: ParityCodec(data_bits=32),
+        description="Even parity (33,32): detect-only, refetch on error "
+        "(paper Table 1, TLB/L1 arrays)",
+        vector_factory=VectorizedParity,
+        cost_factory=parity_cost,
+    )
+    register_codec(
+        "secded",
+        lambda: SecdedCodec(data_bits=64),
+        description="Hamming SECDED(72,64): correct 1, detect 2 "
+        "(paper Table 1, L2/L3 arrays)",
+        vector_factory=VectorizedSecded,
+        cost_factory=secded_cost,
+    )
+
+    def _table(name: str, factory: Callable[[], SyndromeTableCodec], desc: str) -> None:
+        register_codec(
+            name,
+            factory,
+            description=desc,
+            vector_factory=VectorizedTableCodec,
+            cost_factory=table_codec_cost,
+        )
+
+    _table(
+        "dected",
+        DecTedCodec,
+        "DEC-TED(80,64): correct <= 2, detect 3 (shortened extended BCH)",
+    )
+    _table(
+        "sec-daec",
+        SecDaecCodec,
+        "SEC-DAEC(72,64): correct singles + adjacent doubles "
+        "(MBU-oriented, same overhead as SECDED)",
+    )
+    _table(
+        "bch-t2",
+        lambda: BchCodec(t=2),
+        "Extended BCH(81,64) t=2: correct <= 2, detect 3",
+    )
+    _table(
+        "bch-t3",
+        lambda: BchCodec(t=3),
+        "Extended BCH(89,64) t=3: correct <= 3, detect 4",
+    )
+
+
+_register_builtins()

@@ -1,0 +1,122 @@
+"""SEC-DAEC(72,64): single-error + double-adjacent-error correction.
+
+Same storage overhead as the platform's SECDED(72,64) -- 8 check bits
+over 64 data bits -- but the check matrix is chosen so that every
+single-bit error *and* every pair of physically adjacent bit flips has
+a distinct nonzero syndrome.  Adjacent pairs are exactly what the MBU
+cluster model in :mod:`repro.sram.mbu` produces when interleaving does
+not fully split a spatial multi-bit upset, so this code trades
+SECDED's guaranteed double-*detection* for correction of the double
+patterns that actually occur.
+
+The price is silent behaviour on what SECDED would have caught:
+a *non-adjacent* double either lands on an unused syndrome (detected)
+or aliases onto a single/adjacent-pair table entry and is miscorrected
+-- the documented pathology of all DAEC constructions (Dutta & Touba
+style).  There is no overall-parity bit, so no weight class is
+guaranteed detected.
+
+The 64 data columns are found by a deterministic lexicographic
+backtracking search: check positions carry unit-vector columns, and
+each candidate data column must give fresh syndromes for its single
+and for the adjacent pairs it completes (the codeword is treated as a
+ring, including the ``71 -> 0`` wraparound pair, matching
+:func:`repro.codecs.linear.adjacent_pair_patterns`).  The search is
+seed-free and order-deterministic, so the codec is byte-stable across
+runs and platforms.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from ..errors import CodecError
+from .linear import SyndromeTableCodec, adjacent_pair_patterns
+
+#: The (72,64) geometry shared with the platform SECDED code.
+SECDAEC_DATA_BITS = 64
+SECDAEC_CHECK_BITS = 8
+
+
+@lru_cache(maxsize=None)
+def _secdaec_columns(data_bits: int, check_bits: int) -> Tuple[int, ...]:
+    """Deterministic backtracking search for the DAEC data columns.
+
+    Syndrome constraints: all ``n`` singles plus all ``n`` adjacent
+    ring pairs must be distinct and nonzero.  Check columns are the
+    unit vectors ``e_0 .. e_{r-1}`` at positions ``k .. k+r-1``; their
+    singles and adjacent pairs are pre-seeded, then data columns
+    ``c_0 .. c_{k-1}`` are assigned lexicographically from 1 upward,
+    backtracking when a candidate exhausts the syndrome space.
+    """
+    order = 1 << check_bits
+    seeded = set()
+    for j in range(check_bits):
+        seeded.add(1 << j)
+    for j in range(check_bits - 1):
+        seeded.add((1 << j) ^ (1 << (j + 1)))
+    first_check = 1  # e_0: ring partner of the last data column
+    last_check = 1 << (check_bits - 1)  # e_{r-1}: ring partner of c_0
+
+    def new_syndromes(index: int, column: int, chosen: List[int]) -> List[int]:
+        fresh = [column]
+        if index == 0:
+            fresh.append(column ^ last_check)
+        else:
+            fresh.append(column ^ chosen[index - 1])
+        if index == data_bits - 1:
+            fresh.append(column ^ first_check)
+        return fresh
+
+    chosen: List[int] = []
+    # cursor[i]: next candidate value to try for data column i.
+    cursor = [1]
+    used = set(seeded)
+    while len(chosen) < data_bits:
+        index = len(chosen)
+        candidate = cursor[index]
+        placed = False
+        while candidate < order:
+            fresh = new_syndromes(index, candidate, chosen)
+            if (
+                all(s != 0 and s not in used for s in fresh)
+                and len(set(fresh)) == len(fresh)
+            ):
+                chosen.append(candidate)
+                used.update(fresh)
+                cursor[index] = candidate + 1
+                cursor.append(1)
+                placed = True
+                break
+            candidate += 1
+        if placed:
+            continue
+        # Dead end: retract the previous column and advance its cursor.
+        cursor.pop()
+        if not chosen:
+            raise CodecError(
+                f"no SEC-DAEC column assignment exists for "
+                f"({data_bits + check_bits},{data_bits})"
+            )
+        previous = chosen.pop()
+        for s in new_syndromes(len(chosen), previous, chosen):
+            used.discard(s)
+        cursor[len(chosen)] = previous + 1
+    return tuple(chosen)
+
+
+class SecDaecCodec(SyndromeTableCodec):
+    """SEC-DAEC(72,64): corrects singles and adjacent doubles."""
+
+    def __init__(self) -> None:
+        columns = _secdaec_columns(SECDAEC_DATA_BITS, SECDAEC_CHECK_BITS)
+        word_bits = SECDAEC_DATA_BITS + SECDAEC_CHECK_BITS
+        patterns = [1 << p for p in range(word_bits)]
+        patterns.extend(adjacent_pair_patterns(word_bits))
+        super().__init__(
+            SECDAEC_DATA_BITS, SECDAEC_CHECK_BITS, columns, patterns
+        )
+
+    def __repr__(self) -> str:
+        return "SecDaecCodec(data_bits=64, check_bits=8)"

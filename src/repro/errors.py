@@ -32,6 +32,11 @@ class ProtectionError(ReproError):
     """An ECC/parity codec was used with mismatched word sizes."""
 
 
+class CodecError(ProtectionError):
+    """The codec registry or plugin API was misused (unknown codec name,
+    duplicate registration, malformed plugin)."""
+
+
 class InjectionError(ReproError):
     """A fault-injection request referenced a nonexistent bit or array."""
 

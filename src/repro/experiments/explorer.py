@@ -1,0 +1,87 @@
+"""Explorer: the codec x voltage x workload design-space sweep.
+
+Not a paper artifact -- the paper fixes parity/SECDED (Table 1) -- but
+the design-space extension ROADMAP item 2 calls for: every registered
+codec is exercised against the calibrated MBU cluster model at each
+operating point, and the per-cell FIT estimates (Garwood intervals,
+scaled to NYC flux) are reduced to a FIT-vs-area-vs-energy Pareto
+front per (point, workload) slice.
+
+The in-process run here uses a deliberately small strike budget so the
+experiment renders in seconds; ``repro-campaign explore`` runs the
+same cells through the scheduler broker at scale, with checkpointed
+shards and ``--resume``.
+"""
+
+from __future__ import annotations
+
+from ..codecs import SweepSpec, assemble_pareto, run_cell, sweep_cells
+from ..core.report import Table
+from .config import DEFAULT_SEED, ExperimentResult
+
+#: Strike budget of the in-process experiment: enough for stable
+#: orderings, small enough to render interactively.
+EXPERIMENT_STRIKES = 1500
+
+
+def run(
+    seed: int = DEFAULT_SEED, time_scale: float = 1.0
+) -> ExperimentResult:
+    """Run a compact sweep in-process and tabulate the Pareto front.
+
+    ``time_scale`` scales the per-cell strike budget the way campaign
+    time scales scale beam minutes (floored so every cell keeps enough
+    events for its split-half gates).
+    """
+    strikes = max(int(EXPERIMENT_STRIKES * min(time_scale, 1.0)), 50)
+    spec = SweepSpec(strikes=strikes, seed=seed)
+    payloads = [run_cell(cell) for cell in sweep_cells(spec)]
+    document = assemble_pareto(spec, payloads)
+    table = Table(
+        title="Codec design-space Pareto cells "
+        f"({strikes} strikes/cell, FIT at NYC flux)",
+        header=[
+            "Codec",
+            "PMD mV",
+            "SoC mV",
+            "Workload",
+            "FIT total",
+            "FIT 95% CI",
+            "Silent frac",
+            "Area gates",
+            "Energy pJ",
+            "Front",
+        ],
+    )
+    for cell in document["cells"]:
+        fit = cell["fit_total"]
+        table.add_row(
+            cell["codec"],
+            cell["pmd_mv"],
+            cell["soc_mv"],
+            cell["workload"],
+            fit["value"],
+            f"[{fit['lower']:.3g}, {fit['upper']:.3g}]",
+            cell["silent_fraction"]["value"],
+            cell["cost"]["area_gates"],
+            cell["cost"]["energy_pj"],
+            "*" if cell["on_front"] else "",
+        )
+    front = sorted({c["codec"] for c in document["pareto"]})
+    return ExperimentResult(
+        experiment_id="explorer",
+        table=table,
+        series={
+            "pareto": document["pareto"],
+            "cells": document["cells"],
+            "gates": document["gates"],
+            "ok": document["ok"],
+        },
+        notes=(
+            "Design-space extension (not a paper artifact). Codecs on "
+            f"at least one front: {', '.join(front)}. SILENT cells come "
+            "from real syndrome aliasing; FIT scales the calibrated L3 "
+            "rate by each workload's detection efficiency. Run "
+            "'repro-campaign explore' for broker-scheduled sweeps."
+        ),
+    )

@@ -11,6 +11,7 @@ from ..errors import ConfigurationError
 from ..telemetry import Telemetry, console_summary
 from . import (
     ablations,
+    explorer,
     ext_masking,
     ext_viruses,
     fig4,
@@ -49,6 +50,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-checkpoint": ablations.run_checkpoint,
     "ext-masking": ext_masking.run,
     "ext-viruses": ext_viruses.run,
+    "explorer": explorer.run,
 }
 
 

@@ -70,6 +70,10 @@ class ServiceConfig:
     broker_id: Optional[str] = None
     timeout_s: Optional[float] = None
     retries: int = 2
+    #: Run the post-job gates (:mod:`repro.validate.postjob`) on every
+    #: assembled submission, writing ``validation.json`` next to
+    #: ``campaign.json`` and surfacing the verdict in ``status.json``.
+    validate: bool = False
 
     def resolved_broker_id(self) -> str:
         return self.broker_id or f"broker-{os.getpid()}"
@@ -113,6 +117,8 @@ class CampaignService:
         self._lock = threading.Lock()
         self._plans: Dict[str, CampaignPlan] = {}
         self._assembled: Set[str] = set()
+        #: Post-job gate verdicts by submission id (``--validate``).
+        self._validation: Dict[str, bool] = {}
         self._stopping = False
         self._stop_signal: Optional[int] = None
         self._last_activity = time.monotonic()
@@ -348,6 +354,42 @@ class CampaignService:
             },
         )
         self._record_event("assembled", submission=sid, ok=not failed)
+        if self.config.validate:
+            self._validate_one(sid, campaign_dict)
+
+    def _validate_one(self, sid: str, campaign_dict: dict) -> None:
+        """Run the post-job gates on one assembled submission.
+
+        The verdict lands in three places: ``validation.json`` next to
+        ``campaign.json`` (the full gate report), the scheduling
+        journal, and the ``validation`` map of ``status.json`` -- so a
+        drifted result is visible to ``repro-campaign status`` without
+        opening the results directory.  A gate failure never unwinds
+        the assembly: the campaign artifacts are already on disk and
+        remain the evidence the gates are complaining about.
+        """
+        from ..validate.postjob import postjob_report
+
+        try:
+            report = postjob_report(campaign_dict)
+        except ReproError as exc:
+            report = {
+                "schema": 1,
+                "ok": False,
+                "gates": [],
+                "error": str(exc),
+            }
+        atomic_write_json(
+            os.path.join(
+                layout.results_dir(self.root, sid), "validation.json"
+            ),
+            report,
+        )
+        self._validation[sid] = bool(report["ok"])
+        self.telemetry.count(
+            "service.validated", ok="yes" if report["ok"] else "no"
+        )
+        self._record_event("validated", submission=sid, ok=report["ok"])
 
     def _unit_statuses(self, submission_id: str) -> Dict[str, str]:
         plan = self._plans.get(submission_id)
@@ -384,6 +426,7 @@ class CampaignService:
                 "poll_s": self.config.poll_s,
                 "inflight_batch": self._inflight,
                 "assembled": sorted(self._assembled),
+                "validation": dict(sorted(self._validation.items())),
                 "http_port": self.config.http_port,
             }
         )

@@ -10,7 +10,9 @@ Public surface:
 * :mod:`~repro.validate.differential` -- paired-configuration
   agreement checks and the canonical campaign serialization;
 * :mod:`~repro.validate.conformance` -- the three suites behind
-  ``repro-campaign validate``.
+  ``repro-campaign validate``;
+* :mod:`~repro.validate.postjob` -- the automatic per-submission gates
+  behind ``repro-campaign serve --validate``.
 """
 
 from .conformance import (
@@ -50,6 +52,7 @@ from .oracles import (
     Tolerance,
     default_registry,
 )
+from .postjob import postjob_gates, postjob_report
 
 __all__ = [
     "SUITES",
@@ -81,4 +84,6 @@ __all__ = [
     "OracleRegistry",
     "Tolerance",
     "default_registry",
+    "postjob_gates",
+    "postjob_report",
 ]

@@ -30,6 +30,13 @@ of "this knob does not change the physics":
     is *statistical*, not byte: both sample the same calibrated
     distributions, checked with Poisson same-distribution gates on
     per-session upset and failure counts.
+``codec_scalar_vs_vectorized``
+    For every codec in the :mod:`repro.codecs` registry: the scalar
+    per-word ``classify`` vs the batched numpy path, over a mixed
+    population of error weights including adjacent runs.  Unlike the
+    injector pairing this promise *is* exact -- both paths decode the
+    same corrupted codewords, so status codes and returned data must
+    match word-for-word.
 
 :class:`DifferentialRunner` flies each pairing from one seed and diffs
 the results.  Byte pairings that disagree are decoded and diffed
@@ -73,6 +80,7 @@ PAIRINGS = (
     "executor",
     "telemetry",
     "injector",
+    "codec_scalar_vs_vectorized",
     "resume",
     "broker",
     "lease_resume",
@@ -208,6 +216,7 @@ class DifferentialRunner:
             "executor": self._pair_executor,
             "telemetry": self._pair_telemetry,
             "injector": self._pair_injector,
+            "codec_scalar_vs_vectorized": self._pair_codecs,
             "resume": self._pair_resume,
             "broker": self._pair_broker,
             "lease_resume": self._pair_lease_resume,
@@ -300,6 +309,69 @@ class DifferentialRunner:
                     f"differential/injector/{label}/failures",
                     a.failure_count,
                     b.failure_count,
+                )
+            )
+        return report
+
+    def _pair_codecs(self) -> DiffReport:
+        # Imported lazily: repro.codecs.sweep itself imports the gates
+        # from this package, so a module-level import would be cyclic.
+        import numpy as np
+
+        from ..codecs import STATUS_OF_CODE, get_codec, list_codecs, pack_masks
+        from ..rng import RngStreams
+
+        samples = 256
+        report = DiffReport(pairing="codec_scalar_vs_vectorized")
+        for name in list_codecs():
+            bundle = get_codec(name)
+            codec, vectorized = bundle.codec, bundle.vectorized
+            rng = RngStreams(self.seed).child("codec-diff", codec=name)
+            if codec.data_bits >= 64:
+                high = rng.integers(0, 1 << 32, size=samples, dtype=np.uint64)
+                low = rng.integers(0, 1 << 32, size=samples, dtype=np.uint64)
+                data = (high << np.uint64(32)) | low
+            else:
+                data = rng.integers(
+                    0, 1 << codec.data_bits, size=samples, dtype=np.uint64
+                )
+            masks = []
+            for i in range(samples):
+                if i % 2 == 0:
+                    # Scattered flips of weight 0..4 (covers clean,
+                    # correct, detect, and aliasing regimes).
+                    weight = i % 5
+                    positions = rng.choice(
+                        codec.word_bits, size=weight, replace=False
+                    )
+                    mask = 0
+                    for pos in positions:
+                        mask |= 1 << int(pos)
+                else:
+                    # Adjacent runs, the MBU-shaped patterns.
+                    length = (i % 4) + 1
+                    start = int(rng.integers(0, codec.word_bits - length + 1))
+                    mask = ((1 << length) - 1) << start
+                masks.append(mask)
+            status_vec, data_vec = vectorized.classify_batch(
+                data, pack_masks(masks, vectorized.limbs)
+            )
+            mismatches = 0
+            for i in range(samples):
+                scalar = codec.classify(int(data[i]), masks[i])
+                if (
+                    scalar.status is not STATUS_OF_CODE[int(status_vec[i])]
+                    or scalar.data != int(data_vec[i])
+                ):
+                    mismatches += 1
+            report.gates.append(
+                GateResult(
+                    gate=f"differential/codec/{name}",
+                    ok=mismatches == 0,
+                    measured=f"{mismatches} mismatching words",
+                    expected=f"0 of {samples}",
+                    detail="scalar classify vs batched classify "
+                    "(status + data, exact)",
                 )
             )
         return report

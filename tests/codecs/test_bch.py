@@ -1,0 +1,127 @@
+"""Extended BCH(81,64) t=2 and (89,64) t=3: guarantees at each weight.
+
+The ``(x+1)`` factor in the generator buys designed distance 2t + 2,
+so weight t + 1 is *always* detected; weight t + 2 is past every
+guarantee and may silently miscorrect through a weight-(2t+2)
+codeword -- the documented aliasing pathology.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.codecs import BchCodec, get_codec, pack_masks
+from repro.codecs.vector import CORRECTED, DUE, SILENT
+from repro.errors import CodecError
+from repro.sram.protection import DecodeStatus
+
+DATA = 0xA5A55A5AC33CF00F
+
+
+def _weight_masks(word_bits, weight, limit=None):
+    combos = itertools.combinations(range(word_bits), weight)
+    if limit is not None:
+        combos = itertools.islice(combos, limit)
+    masks = []
+    for bits in combos:
+        mask = 0
+        for b in bits:
+            mask |= 1 << b
+        masks.append(mask)
+    return masks
+
+
+class TestBchT2:
+    @pytest.fixture(scope="class")
+    def entry(self):
+        return get_codec("bch-t2")
+
+    def test_geometry(self, entry):
+        codec = entry.codec
+        assert isinstance(codec, BchCodec)
+        assert codec.t == 2
+        assert codec.data_bits == 64
+        assert codec.check_bits == 17
+        assert codec.word_bits == 81
+
+    def test_all_weight_le_2_corrected(self, entry):
+        codec = entry.codec
+        vectorized = entry.vectorized
+        masks = _weight_masks(codec.word_bits, 1) + _weight_masks(
+            codec.word_bits, 2
+        )
+        data = np.full(len(masks), DATA, dtype=np.uint64)
+        status, decoded = vectorized.classify_batch(
+            data, pack_masks(masks, vectorized.limbs)
+        )
+        assert (status == CORRECTED).all()
+        assert (decoded == data).all()
+
+    def test_all_triples_detected(self, entry):
+        # Distance >= 6: every C(81,3) = 85320 weight-3 pattern raises
+        # DETECTED_UNCORRECTABLE, none aliases onto the <= 2 table.
+        codec = entry.codec
+        vectorized = entry.vectorized
+        masks = _weight_masks(codec.word_bits, 3)
+        data = np.full(len(masks), DATA, dtype=np.uint64)
+        status, _ = vectorized.classify_batch(
+            data, pack_masks(masks, vectorized.limbs)
+        )
+        assert (status == DUE).all()
+
+    def test_weight_4_aliases_silently(self, entry):
+        codec = entry.codec
+        vectorized = entry.vectorized
+        masks = _weight_masks(codec.word_bits, 4, limit=20000)
+        data = np.full(len(masks), DATA, dtype=np.uint64)
+        status, _ = vectorized.classify_batch(
+            data, pack_masks(masks, vectorized.limbs)
+        )
+        assert (status == SILENT).any()
+        assert not (status == CORRECTED).any()
+
+
+class TestBchT3:
+    @pytest.fixture(scope="class")
+    def entry(self):
+        return get_codec("bch-t3")
+
+    def test_geometry(self, entry):
+        codec = entry.codec
+        assert isinstance(codec, BchCodec)
+        assert codec.t == 3
+        assert codec.data_bits == 64
+        assert codec.check_bits == 25
+        assert codec.word_bits == 89
+
+    def test_sampled_weight_3_corrected(self, entry):
+        codec = entry.codec
+        rng = np.random.default_rng(2023)
+        for _ in range(200):
+            bits = rng.choice(codec.word_bits, size=3, replace=False)
+            mask = 0
+            for b in bits:
+                mask |= 1 << int(b)
+            result = codec.classify(DATA, mask)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == DATA
+
+    def test_sampled_weight_4_detected(self, entry):
+        # Distance >= 8 guarantees detection at t + 1 = 4.
+        codec = entry.codec
+        rng = np.random.default_rng(2023)
+        for _ in range(200):
+            bits = rng.choice(codec.word_bits, size=4, replace=False)
+            mask = 0
+            for b in bits:
+                mask |= 1 << int(b)
+            result = codec.classify(DATA, mask)
+            assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+def test_unsupported_t_rejected():
+    with pytest.raises(CodecError, match="t in"):
+        BchCodec(t=4)
+    with pytest.raises(CodecError, match="t in"):
+        BchCodec(t=1)

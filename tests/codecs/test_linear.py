@@ -1,0 +1,88 @@
+"""Syndrome-table machinery: patterns, construction, table validation."""
+
+import math
+
+import pytest
+
+from repro.codecs import (
+    SyndromeTableCodec,
+    adjacent_pair_patterns,
+    patterns_up_to_weight,
+)
+from repro.errors import CodecError, ProtectionError
+from repro.sram.protection import DecodeStatus
+
+#: Hamming(7,4) data columns: syndromes of the data positions 0..3
+#: when the check positions 4..6 carry unit syndromes 1, 2, 4.
+HAMMING74_COLUMNS = (3, 5, 6, 7)
+
+
+def _hamming74(patterns=None):
+    return SyndromeTableCodec(
+        data_bits=4,
+        check_bits=3,
+        data_columns=HAMMING74_COLUMNS,
+        correctable_patterns=(
+            patterns if patterns is not None else patterns_up_to_weight(7, 1)
+        ),
+    )
+
+
+class TestPatterns:
+    def test_weight_counts(self):
+        n = 10
+        patterns = list(patterns_up_to_weight(n, 2))
+        assert len(patterns) == math.comb(n, 1) + math.comb(n, 2)
+        assert len(set(patterns)) == len(patterns)
+        assert all(bin(p).count("1") <= 2 and p for p in patterns)
+
+    def test_adjacent_pairs_form_a_ring(self):
+        pairs = list(adjacent_pair_patterns(8))
+        assert len(pairs) == 8
+        assert 0b11 in pairs
+        # The wraparound pair closes the ring: MSB adjacent to LSB.
+        assert ((1 << 7) | 1) in pairs
+
+    def test_zero_weight_yields_nothing(self):
+        assert list(patterns_up_to_weight(8, 0)) == []
+
+
+class TestSyndromeTableCodec:
+    def test_roundtrip_and_systematic_layout(self):
+        codec = _hamming74()
+        for data in range(16):
+            codeword = codec.encode(data)
+            assert codeword & 0xF == data  # data bits sit at [0, k)
+            result = codec.decode(codeword)
+            assert result.status is DecodeStatus.CLEAN
+            assert result.data == data
+
+    def test_all_singles_corrected(self):
+        codec = _hamming74()
+        for data in (0, 0b1010, 0b1111):
+            for bit in range(codec.word_bits):
+                result = codec.classify(data, 1 << bit)
+                assert result.status is DecodeStatus.CORRECTED
+                assert result.data == data
+
+    def test_colliding_patterns_refused_with_names(self):
+        # Hamming distance 3 cannot tell doubles apart from singles --
+        # the table constructor must catch the aliasing, not the decoder.
+        with pytest.raises(CodecError, match="collide"):
+            _hamming74(patterns_up_to_weight(7, 2))
+
+    def test_zero_syndrome_pattern_refused(self):
+        # A pattern the syndrome cannot even see (a codeword) cannot be
+        # in the correctable set.
+        codeword = _hamming74().encode(0b0001)
+        with pytest.raises(CodecError):
+            _hamming74([codeword])
+
+    def test_data_too_wide_rejected(self):
+        with pytest.raises(ProtectionError):
+            _hamming74().encode(16)
+
+    def test_codeword_too_wide_rejected(self):
+        codec = _hamming74()
+        with pytest.raises(ProtectionError):
+            codec.decode(1 << codec.word_bits)

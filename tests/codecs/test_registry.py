@@ -1,0 +1,140 @@
+"""Codec registry: plugin API, built-in adapters, lazy construction."""
+
+import pytest
+
+from repro.codecs import (
+    BchCodec,
+    DecTedCodec,
+    SecDaecCodec,
+    get_codec,
+    list_codecs,
+    register_codec,
+    unregister_codec,
+)
+from repro.codecs.cost import CodecCost
+from repro.codecs.vector import ScalarFallbackVectorized
+from repro.errors import CodecError
+from repro.sram.protection import DecodeStatus, ParityCodec, SecdedCodec
+
+BUILTINS = ("bch-t2", "bch-t3", "dected", "parity", "sec-daec", "secded")
+
+
+class TestBuiltins:
+    def test_all_builtins_listed_sorted(self):
+        names = list_codecs()
+        assert names == sorted(names)
+        for name in BUILTINS:
+            assert name in names
+
+    def test_parity_adapts_protection_codec_unchanged(self):
+        # The paper-conformance anchor: the registry entry IS the
+        # repro.sram.protection codec, not a re-implementation.
+        codec = get_codec("parity").codec
+        assert isinstance(codec, ParityCodec)
+        assert codec.data_bits == 32
+        assert codec.refetch_on_detect is True
+
+    def test_secded_adapts_protection_codec_unchanged(self):
+        codec = get_codec("secded").codec
+        assert isinstance(codec, SecdedCodec)
+        assert codec.data_bits == 64
+        assert codec.word_bits == 72
+
+    @pytest.mark.parametrize(
+        "name, kind, word_bits",
+        [
+            ("dected", DecTedCodec, 80),
+            ("sec-daec", SecDaecCodec, 72),
+            ("bch-t2", BchCodec, 81),
+            ("bch-t3", BchCodec, 89),
+        ],
+    )
+    def test_new_codecs_geometry(self, name, kind, word_bits):
+        codec = get_codec(name).codec
+        assert isinstance(codec, kind)
+        assert codec.data_bits == 64
+        assert codec.word_bits == word_bits
+
+    def test_entries_construct_lazily_and_cache(self):
+        entry = get_codec("secded")
+        assert entry.codec is entry.codec
+        assert entry.vectorized is entry.vectorized
+        assert entry.cost is entry.cost
+
+    def test_every_builtin_carries_a_cost_model(self):
+        for name in BUILTINS:
+            cost = get_codec(name).cost
+            assert isinstance(cost, CodecCost)
+            assert cost.area_gates > 0
+            assert cost.energy_pj > 0
+            assert 0 < cost.storage_overhead < 1
+
+
+class TestPluginApi:
+    def test_register_get_unregister(self):
+        register_codec(
+            "parity16",
+            lambda: ParityCodec(16),
+            description="test-only narrow parity",
+        )
+        try:
+            entry = get_codec("parity16")
+            assert entry.description == "test-only narrow parity"
+            assert entry.codec.data_bits == 16
+            # Fallback adapters: a plugin without vector/cost factories
+            # still decodes in batch and still prices itself.
+            assert isinstance(entry.vectorized, ScalarFallbackVectorized)
+            assert entry.cost.check_bits == 1
+            assert "parity16" in list_codecs()
+        finally:
+            unregister_codec("parity16")
+        assert "parity16" not in list_codecs()
+
+    def test_fallback_vectorized_classifies_like_scalar(self):
+        register_codec("parity8", lambda: ParityCodec(8))
+        try:
+            entry = get_codec("parity8")
+            status, _ = entry.vectorized.classify_batch(
+                [0x5A, 0x5A], [1 << 2, (1 << 2) | (1 << 5)]
+            )
+            scalar = entry.codec.classify(0x5A, 1 << 2)
+            assert scalar.status is DecodeStatus.DETECTED_UNCORRECTABLE
+            assert int(status[0]) == 2  # DUE
+            assert int(status[1]) == 3  # double flip aliases: SILENT
+        finally:
+            unregister_codec("parity8")
+
+    def test_duplicate_registration_refused(self):
+        with pytest.raises(CodecError, match="already registered"):
+            register_codec("secded", lambda: SecdedCodec(64))
+
+    def test_replace_takes_over_then_restores(self):
+        original = get_codec("parity").plugin
+        register_codec(
+            "parity", lambda: ParityCodec(8), replace=True
+        )
+        try:
+            assert get_codec("parity").codec.data_bits == 8
+        finally:
+            register_codec(
+                "parity",
+                original.factory,
+                description=original.description,
+                vector_factory=original.vector_factory,
+                cost_factory=original.cost_factory,
+                replace=True,
+            )
+        assert get_codec("parity").codec.data_bits == 32
+
+    def test_unknown_name_lists_known_codecs(self):
+        with pytest.raises(CodecError, match="secded"):
+            get_codec("hamming-31-26")
+
+    def test_unregister_unknown_refused(self):
+        with pytest.raises(CodecError):
+            unregister_codec("no-such-codec")
+
+    @pytest.mark.parametrize("name", ["", "  ", "a/b", "tab\tname"])
+    def test_malformed_names_refused(self, name):
+        with pytest.raises(CodecError):
+            register_codec(name, lambda: ParityCodec(8))

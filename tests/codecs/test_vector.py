@@ -1,0 +1,118 @@
+"""Vectorized decode path: packing, popcount, and scalar agreement.
+
+The batched decoders are the hot path; the scalar codecs are the
+semantic reference.  Every registered codec gets a randomized
+differential check here (exact status + data equality), on top of the
+``codec_scalar_vs_vectorized`` pairing in ``repro.validate``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codecs import get_codec, list_codecs, pack_masks
+from repro.codecs.vector import (
+    CLEAN,
+    CODE_OF_STATUS,
+    CORRECTED,
+    DUE,
+    SILENT,
+    STATUS_OF_CODE,
+    limbs_for,
+    popcount64,
+)
+from repro.errors import CodecError
+from repro.sram.protection import DecodeStatus
+
+
+class TestHelpers:
+    def test_status_code_tables_are_inverse(self):
+        assert (CLEAN, CORRECTED, DUE, SILENT) == (0, 1, 2, 3)
+        for code, status in enumerate(STATUS_OF_CODE):
+            assert CODE_OF_STATUS[status] == code
+        assert STATUS_OF_CODE[DUE] is DecodeStatus.DETECTED_UNCORRECTABLE
+
+    def test_limbs_for(self):
+        assert limbs_for(1) == 1
+        assert limbs_for(64) == 1
+        assert limbs_for(65) == 2
+        assert limbs_for(128) == 2
+
+    def test_popcount64_matches_python(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 1 << 63, size=256, dtype=np.uint64)
+        values[:3] = (0, 1, 0xFFFFFFFFFFFFFFFF)
+        expected = [bin(int(v)).count("1") for v in values]
+        assert popcount64(values).tolist() == expected
+
+    def test_pack_masks_splits_limbs(self):
+        mask = (0xABCD << 64) | 0x1234
+        packed = pack_masks([mask, 0], 2)
+        assert packed.shape == (2, 2)
+        assert int(packed[0, 0]) == 0x1234
+        assert int(packed[0, 1]) == 0xABCD
+        assert int(packed[1, 0]) == 0 and int(packed[1, 1]) == 0
+
+
+def _random_cases(entry, count, seed):
+    codec = entry.codec
+    rng = np.random.default_rng(seed)
+    lo = rng.integers(0, 1 << 32, size=count, dtype=np.uint64)
+    hi = rng.integers(0, 1 << 32, size=count, dtype=np.uint64)
+    mask = (1 << min(codec.data_bits, 64)) - 1
+    data = ((hi << np.uint64(32)) | lo) & np.uint64(mask)
+    weights = rng.integers(0, 5, size=count)
+    masks = []
+    for w in weights:
+        bits = rng.choice(codec.word_bits, size=int(w), replace=False)
+        flip = 0
+        for b in bits:
+            flip |= 1 << int(b)
+        masks.append(flip)
+    return data, masks
+
+
+@pytest.mark.parametrize("name", sorted(list_codecs()))
+class TestScalarAgreement:
+    def test_classify_batch_matches_scalar(self, name):
+        entry = get_codec(name)
+        data, masks = _random_cases(entry, 512, seed=2023)
+        status, decoded = entry.vectorized.classify_batch(
+            data, pack_masks(masks, entry.vectorized.limbs)
+        )
+        for i, flip in enumerate(masks):
+            expected = entry.codec.classify(int(data[i]), flip)
+            assert STATUS_OF_CODE[int(status[i])] is expected.status, (
+                f"{name}: word {i} flip {flip:#x}"
+            )
+            assert int(decoded[i]) == expected.data
+
+    def test_encode_batch_matches_scalar(self, name):
+        entry = get_codec(name)
+        data, _ = _random_cases(entry, 64, seed=11)
+        codewords = entry.vectorized.encode_batch(data)
+        assert codewords.shape == (64, entry.vectorized.limbs)
+        for i in range(64):
+            expected = entry.codec.encode(int(data[i]))
+            got = 0
+            for limb in range(entry.vectorized.limbs):
+                got |= int(codewords[i, limb]) << (64 * limb)
+            assert got == expected
+
+
+class TestFlipShapes:
+    def test_flat_flips_accepted_for_single_limb(self):
+        entry = get_codec("parity")
+        data = np.array([5, 9], dtype=np.uint64)
+        flips = np.array([0b11, 0], dtype=np.uint64)
+        status, _ = entry.vectorized.classify_batch(data, flips)
+        assert int(status[0]) == SILENT  # double flip defeats parity
+        assert int(status[1]) == CLEAN
+
+    def test_flat_flips_refused_for_multi_limb(self):
+        entry = get_codec("secded")
+        assert entry.vectorized.limbs == 2
+        data = np.array([5], dtype=np.uint64)
+        with pytest.raises(CodecError, match="pack_masks"):
+            entry.vectorized.classify_batch(
+                data, np.array([1], dtype=np.uint64)
+            )

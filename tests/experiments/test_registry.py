@@ -13,7 +13,7 @@ class TestRegistry:
             "fig9", "fig10", "fig11", "fig12", "fig13",
             "ablation-interleave", "ablation-ecc", "ablation-slope",
             "ablation-scrub", "ablation-checkpoint",
-            "ext-masking", "ext-viruses",
+            "ext-masking", "ext-viruses", "explorer",
         }
 
 

@@ -1,0 +1,65 @@
+"""serve --validate: automatic post-job gating of assembled campaigns."""
+
+import json
+import os
+
+import pytest
+
+from repro.scheduler import CampaignSpec
+from repro.service import results_dir, status_path
+
+from .conftest import TIME_SCALE, make_service
+from .test_service import drop_job
+
+
+@pytest.fixture(scope="module")
+def validated(tmp_path_factory):
+    root = tmp_path_factory.mktemp("validate") / "root"
+    spec = CampaignSpec(time_scale=TIME_SCALE)
+    service = make_service(
+        root, workers=2, idle_exit_s=0.2, validate=True
+    )
+    drop_job(root, spec)
+    assert service.serve() == 0
+    service.journal.close()
+    return str(root), spec
+
+
+class TestValidationReport:
+    def test_report_written_and_green(self, validated):
+        root, spec = validated
+        path = os.path.join(
+            results_dir(root, spec.submission_id), "validation.json"
+        )
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["schema"] == 1
+        assert report["ok"] is True
+        names = [gate["gate"] for gate in report["gates"]]
+        assert "postjob/roundtrip" in names
+        assert "postjob/invariants" in names
+        assert any(name.startswith("postjob/upsets/") for name in names)
+        assert all(gate["ok"] for gate in report["gates"])
+
+    def test_status_carries_the_verdict(self, validated):
+        root, spec = validated
+        with open(status_path(root)) as handle:
+            status = json.load(handle)
+        assert status["validation"] == {spec.submission_id: True}
+
+
+class TestValidationOff:
+    def test_no_report_without_the_flag(self, tmp_path):
+        root = tmp_path / "root"
+        spec = CampaignSpec(time_scale=TIME_SCALE)
+        service = make_service(root, workers=2, idle_exit_s=0.2)
+        drop_job(root, spec)
+        assert service.serve() == 0
+        service.journal.close()
+        assert not os.path.exists(
+            os.path.join(
+                results_dir(str(root), spec.submission_id), "validation.json"
+            )
+        )
+        with open(status_path(str(root))) as handle:
+            assert json.load(handle)["validation"] == {}

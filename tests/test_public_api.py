@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.resilient",
     "repro.engine",
     "repro.telemetry",
+    "repro.codecs",
 ]
 
 
