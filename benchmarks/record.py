@@ -72,11 +72,37 @@ def measure_engine() -> Dict[str, float]:
     vectorized_s = _timed(expose(True))
     scalar_s = _timed(expose(False))
     campaign_s = _timed(lambda: Campaign(seed=2023, time_scale=0.02).run())
+
+    from benchmarks.test_bench_pool import BATCHES, fly_cold, fly_warm
+    from benchmarks.test_bench_scheduler import UNITS, _plan
+    from repro.engine import ParallelExecutor
+    from repro.scheduler import Broker
+
+    warm_s = _timed(fly_warm)
+    cold_s = _timed(fly_cold)
+
+    def drain_pooled() -> None:
+        # One warm executor across the whole drain: what the service
+        # loop and resilient runner actually pay per unit.
+        executor = ParallelExecutor(2)
+        try:
+            broker = Broker()
+            broker.submit(_plan())
+            broker.drain(executor)
+        finally:
+            executor.close()
+
+    drain_pool_s = _timed(drain_pooled)
     return {
         "injector_vectorized_s": vectorized_s,
         "injector_scalar_s": scalar_s,
         "injector_speedup_x": scalar_s / vectorized_s,
         "campaign_scale_0.02_s": campaign_s,
+        "pool_warm_batches_s": warm_s,
+        "pool_cold_batches_s": cold_s,
+        "pool_reuse_speedup_x": cold_s / warm_s,
+        "pool_batches": float(BATCHES),
+        "drain_pool_us_per_unit": drain_pool_s / UNITS * 1e6,
     }
 
 

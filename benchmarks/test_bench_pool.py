@@ -1,0 +1,78 @@
+"""Bench: the warm worker pool's reuse claim.
+
+The pool exists so that the service loop, broker drains and the
+explorer stop paying process-pool spawn (and per-process warmup) once
+per batch.  That claim is asserted with a committed floor: flying many
+small batches on one warm pool must beat spawning a fresh pool per
+batch by at least ``REUSE_SPEEDUP_FLOOR``.  Spawn cost dominates tiny
+batches on any box -- single-core CI included -- which is what makes
+this floor safe to assert where the serial-vs-parallel wall-clock race
+is not.
+
+Chunked dispatch is covered by the same measurement: both sides use
+identical chunking, so the delta isolates pool lifetime alone.
+"""
+
+import time
+
+from repro.engine import WorkUnit, WorkerPool
+
+#: Conservative committed floor for warm-reuse vs spawn-per-batch.
+#: Locally the ratio lands around 10-30x; anything under the floor
+#: means pool reuse has regressed to roughly spawn-per-batch cost.
+REUSE_SPEEDUP_FLOOR = 2.0
+
+BATCHES = 8
+UNITS_PER_BATCH = 16
+WORKERS = 2
+
+
+def _tiny(x):
+    return x * x
+
+
+def _batch():
+    return [
+        WorkUnit(key=f"u{i}", fn=_tiny, args=(i,))
+        for i in range(UNITS_PER_BATCH)
+    ]
+
+
+def fly_warm() -> list:
+    """All batches on one long-lived pool (the production shape)."""
+    with WorkerPool(workers=WORKERS) as pool:
+        return [pool.map_chunks(_batch()) for _ in range(BATCHES)]
+
+
+def fly_cold() -> list:
+    """A fresh pool per batch (the pre-pool executor's shape)."""
+    results = []
+    for _ in range(BATCHES):
+        with WorkerPool(workers=WORKERS) as pool:
+            results.append(pool.map_chunks(_batch()))
+    return results
+
+
+def test_bench_pool_reuse(benchmark):
+    expected = [[i * i for i in range(UNITS_PER_BATCH)]] * BATCHES
+
+    warm_results = benchmark(fly_warm)
+    assert warm_results == expected
+
+    started = time.perf_counter()
+    assert fly_warm() == expected
+    warm_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    assert fly_cold() == expected
+    cold_s = time.perf_counter() - started
+
+    speedup = cold_s / warm_s
+    per_batch = warm_s / BATCHES
+    print(
+        f"\nwarm pool:  {warm_s * 1e3:.1f} ms for {BATCHES} batches "
+        f"({per_batch * 1e3:.2f} ms/batch)"
+        f"\ncold pools: {cold_s * 1e3:.1f} ms"
+        f"\nspeedup:    {speedup:.1f}x (floor {REUSE_SPEEDUP_FLOOR}x)"
+    )
+    assert speedup >= REUSE_SPEEDUP_FLOOR

@@ -563,6 +563,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
     from .codecs import assemble_pareto, plan_sweep
     from .engine.executor import resolve_executor
+    from .engine.pool import WarmupSpec
     from .scheduler import Broker, DirectoryStore
 
     spec = _sweep_spec_from_args(args)
@@ -603,7 +604,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     sid = submission.submission_id
     total = len(plan.units)
     recovered = total - broker.pending_count()
-    executor = resolve_executor(args.workers)
+    # Cell units re-enter the same codecs every lease batch; warming
+    # their tables once per worker keeps the pool's reuse win honest.
+    executor = resolve_executor(
+        args.workers, warmup=WarmupSpec(codecs=tuple(spec.codecs))
+    )
     print(
         f"exploring {total} cell(s): {len(spec.codecs)} codec(s) x "
         f"{len(spec.points)} point(s) x {len(spec.workloads)} workload(s), "
@@ -636,6 +641,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return EXIT_INTERRUPTED
+    finally:
+        executor.close()
     document = assemble_pareto(spec, broker.entries_for(sid))
     pareto_path = os.path.join(args.outdir, "pareto.json")
     with open(pareto_path, "w") as handle:

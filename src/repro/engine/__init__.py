@@ -25,12 +25,17 @@ from .executor import (
     WorkUnit,
     resolve_executor,
 )
+from .pool import CAMPAIGN_WARMUP, WarmupSpec, WorkerPool, warm_process
 
 __all__ = [
+    "CAMPAIGN_WARMUP",
     "ExecutionContext",
     "Executor",
     "ParallelExecutor",
     "SerialExecutor",
+    "WarmupSpec",
     "WorkUnit",
+    "WorkerPool",
     "resolve_executor",
+    "warm_process",
 ]

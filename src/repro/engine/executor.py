@@ -7,24 +7,26 @@ in submission order regardless of completion order, which is what makes
 :class:`SerialExecutor` output: every unit carries its own derived
 seed, and the merge never depends on scheduling.
 
-:class:`ParallelExecutor` is backed by
-:class:`concurrent.futures.ProcessPoolExecutor`.  Spawning workers can
-fail in restricted environments (no ``fork``, missing semaphores,
-unpicklable payloads); in that case it logs the reason and falls back
-to in-process serial execution rather than failing the run.
+:class:`ParallelExecutor` is backed by a persistent
+:class:`~repro.engine.pool.WorkerPool`: the process pool spawns lazily
+on the first batch and stays warm across ``map()`` calls, units travel
+in deterministic chunks, and large arrays ride shared memory.  Pool
+*infrastructure* failures (no ``fork``, missing semaphores,
+unpicklable payloads, workers dying faster than the respawn budget)
+fall back to in-process serial execution; an exception raised by a
+unit function itself is re-raised to the caller -- it is the unit's
+genuine result, not a pool problem.
 """
 
 from __future__ import annotations
 
-import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import EngineError
+from ..errors import EngineError, PoolUnavailable
 from ..telemetry import NULL_TELEMETRY, Telemetry
+from .pool import WarmupSpec, WorkerPool
 
 
 @dataclass(frozen=True)
@@ -75,6 +77,9 @@ class Executor:
         """
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release pooled resources, if any (no-op for in-process)."""
+
     def _log(self, logbook, started: float, kind: str, message: str) -> None:
         if logbook is not None:
             logbook.record(time.monotonic() - started, kind, message)
@@ -115,25 +120,57 @@ class SerialExecutor(Executor):
 
 
 class ParallelExecutor(Executor):
-    """Fans units out over a process pool, merging in submission order.
+    """Fans units out over a persistent warm pool, merging in
+    submission order.
+
+    The underlying :class:`~repro.engine.pool.WorkerPool` spawns
+    lazily on the first multi-unit batch and is reused by every later
+    ``map()`` call -- broker drain batches, service jobs and explorer
+    cells all ride the same warm workers.  Call :meth:`close` (or use
+    the executor as a context manager) to release the processes.
 
     Parameters
     ----------
     workers:
         Maximum number of worker processes.
     fallback:
-        When True (default), degrade to serial execution if the pool
-        cannot be spawned or breaks mid-flight; when False, raise
-        :class:`~repro.errors.EngineError` instead.
+        When True (default), degrade to serial execution when the pool
+        *infrastructure* fails -- cannot spawn, payload unpicklable,
+        workers dying beyond the respawn budget; when False, raise
+        :class:`~repro.errors.EngineError` instead.  An exception
+        raised by a unit function is never swallowed into fallback: it
+        propagates to the caller either way.
+    chunk:
+        Units per dispatch chunk; ``None`` (default) sizes chunks
+        automatically per batch.
+    warmup:
+        Optional :class:`~repro.engine.pool.WarmupSpec` pre-building
+        per-worker state (codec tables, injector modules) at spawn.
+    shm_min_bytes:
+        Shared-memory threshold for large arrays; ``None`` disables
+        shm transport.
     """
 
     name = "parallel"
 
-    def __init__(self, workers: int = 2, fallback: bool = True) -> None:
+    def __init__(
+        self,
+        workers: int = 2,
+        fallback: bool = True,
+        chunk: Optional[int] = None,
+        warmup: Optional[WarmupSpec] = None,
+        shm_min_bytes: Optional[int] = None,
+    ) -> None:
         if workers < 1:
             raise EngineError("need at least one worker")
         self.workers = int(workers)
         self.fallback = fallback
+        pool_kwargs: Dict[str, Any] = {}
+        if shm_min_bytes is not None:
+            pool_kwargs["shm_min_bytes"] = shm_min_bytes
+        self.pool = WorkerPool(
+            workers=self.workers, warmup=warmup, chunk=chunk, **pool_kwargs
+        )
 
     def map(
         self,
@@ -154,40 +191,27 @@ class ParallelExecutor(Executor):
                 executor=self.name,
                 units=len(units),
                 workers=self.workers,
-            ), ProcessPoolExecutor(
-                max_workers=min(self.workers, len(units))
-            ) as pool:
-                futures = []
+            ):
                 for unit in units:
                     self._log(
                         logbook, started, "engine",
                         f"dispatch {unit.key} (parallel x{self.workers})",
                     )
-                    futures.append(
-                        pool.submit(unit.fn, *unit.args, **unit.kwargs)
-                    )
-                # Collect strictly in submission order: scheduling can
-                # finish units out of order, the merge must not.
-                results = []
-                collect_started = time.perf_counter()
-                for unit, future in zip(units, futures):
-                    results.append(future.result())
-                    # Completion latency since dispatch, not CPU time:
-                    # the unit ran on another process.
-                    tele.observe(
-                        "engine.unit_seconds",
-                        time.perf_counter() - collect_started,
-                    )
-                    self._log(logbook, started, "engine", f"done {unit.key}")
-                # Counted only after every future resolved: a broken
-                # pool falls back to serial, which does its own count.
+                results = self.pool.map_chunks(
+                    units,
+                    telemetry=tele,
+                    log=lambda message: self._log(
+                        logbook, started, "engine", message
+                    ),
+                )
+                # Counted only after every chunk resolved: a dead pool
+                # falls back to serial, which does its own count.
                 tele.count("engine.units", len(units))
                 return results
-        except (OSError, ValueError, RuntimeError, BrokenProcessPool,
-                ImportError, AttributeError, TypeError,
-                pickle.PicklingError) as exc:
-            # Covers: no fork/spawn support, missing POSIX semaphores,
-            # unpicklable payloads, and workers dying at import time.
+        except PoolUnavailable as exc:
+            # Infrastructure only: no fork/spawn support, missing POSIX
+            # semaphores, unpicklable payloads, respawn budget burned.
+            # A unit's own exception propagates above instead.
             if not self.fallback:
                 raise EngineError(
                     f"parallel execution failed ({exc!r}) and fallback "
@@ -195,24 +219,38 @@ class ParallelExecutor(Executor):
                 ) from exc
             self._log(
                 logbook, started, "engine",
-                f"process pool unavailable ({exc.__class__.__name__}); "
-                f"falling back to serial",
+                f"process pool unavailable ({exc}); falling back to serial",
             )
             tele.count("engine.pool_fallbacks")
             return SerialExecutor().map(
                 units, logbook=logbook, telemetry=telemetry
             )
 
+    def close(self) -> None:
+        """Release the worker processes (the pool respawns if reused)."""
+        self.pool.close()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:
         return f"ParallelExecutor(workers={self.workers})"
 
 
-def resolve_executor(workers: Optional[int]) -> Executor:
+def resolve_executor(
+    workers: Optional[int],
+    warmup: Optional[WarmupSpec] = None,
+    chunk: Optional[int] = None,
+) -> Executor:
     """Map a CLI-style ``--workers`` value onto an executor.
 
     ``None``, 0 or 1 mean serial; anything greater is a parallel pool
-    of that many workers.
+    of that many workers.  ``warmup``/``chunk`` configure the parallel
+    executor's persistent pool and are ignored for serial.
     """
     if workers is None or workers <= 1:
         return SerialExecutor()
-    return ParallelExecutor(workers)
+    return ParallelExecutor(workers, warmup=warmup, chunk=chunk)

@@ -49,6 +49,15 @@ class EngineError(ReproError):
     """The execution engine was configured or driven incorrectly."""
 
 
+class PoolUnavailable(EngineError):
+    """The worker-pool *infrastructure* failed (spawn, transport, IPC).
+
+    Deliberately distinct from an exception raised by a unit function:
+    executors react to pool trouble (fall back to serial, degrade),
+    while unit failures must surface to the caller unchanged.
+    """
+
+
 class SessionError(ReproError):
     """A test session was used in an invalid order (e.g. results before run)."""
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..engine import ExecutionContext
+from ..engine import CAMPAIGN_WARMUP, ExecutionContext
 from ..errors import ReproIOError, SupervisionError
 from ..harness.campaign import Campaign, CampaignResult
 from ..io.json_store import (
@@ -179,7 +179,10 @@ class ResilientCampaign:
         self.chaos = chaos
         self.fsync = fsync
         self.executor = SupervisedExecutor(
-            policy=self.policy, workers=self.workers, chaos=chaos
+            policy=self.policy,
+            workers=self.workers,
+            chaos=chaos,
+            warmup=CAMPAIGN_WARMUP,
         )
 
     def config_hash(self) -> str:
@@ -299,6 +302,7 @@ class ResilientCampaign:
                 )
         finally:
             journal.close()
+            self.executor.close()
 
         return self._assemble(
             completed, fresh, fresh_reports, telemetry, salvaged

@@ -30,12 +30,12 @@ import os
 import queue
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
 from ..engine.executor import Executor, WorkUnit
+from ..engine.pool import WarmupSpec, WorkerPool
 from ..errors import CampaignInterrupted, SupervisionError
 from ..telemetry import NULL_TELEMETRY, Telemetry
 from .chaos import ChaosSpec, chaos_call
@@ -150,6 +150,16 @@ class SupervisedExecutor(Executor):
     sleep:
         Backoff sleeper, injectable so tests assert the deterministic
         schedule without waiting it out.
+    warmup:
+        Optional :class:`~repro.engine.pool.WarmupSpec` pre-building
+        per-worker state when the pool spawns.
+
+    The worker pool is a persistent :class:`~repro.engine.pool.
+    WorkerPool`: it spawns lazily on the first parallel batch and is
+    reused across ``map()`` calls (service jobs, broker drain batches)
+    until :meth:`close`.  Supervision dispatches one future per unit --
+    per-unit timeouts and retry budgets need per-unit completion, so
+    this path deliberately skips chunked dispatch.
     """
 
     name = "supervised"
@@ -160,6 +170,7 @@ class SupervisedExecutor(Executor):
         workers: int = 1,
         chaos: Optional[ChaosSpec] = None,
         sleep: Callable[[float], None] = time.sleep,
+        warmup: Optional[WarmupSpec] = None,
     ) -> None:
         if workers < 0:
             raise SupervisionError("workers must be nonnegative")
@@ -167,8 +178,18 @@ class SupervisedExecutor(Executor):
         self.workers = int(workers)
         self.chaos = chaos
         self._sleep = sleep
+        self.pool: Optional[WorkerPool] = (
+            WorkerPool(self.workers, warmup=warmup)
+            if self.workers > 1
+            else None
+        )
         #: Per-map reports, in submission order (inspected by callers).
         self.last_reports: List[UnitReport] = []
+
+    def close(self) -> None:
+        """Release the worker processes (respawned lazily if reused)."""
+        if self.pool is not None:
+            self.pool.close()
 
     # -- public API --------------------------------------------------------------
 
@@ -373,7 +394,7 @@ class SupervisedExecutor(Executor):
         reports: List[UnitReport] = [None] * len(units)  # type: ignore[list-item]
         breakages = 0
         degraded = False
-        pool: Optional[ProcessPoolExecutor] = None
+        pool = self.pool
 
         def _submit(state: _UnitState) -> None:
             wrapped = self._wrap(state.unit, state.attempt)
@@ -392,9 +413,7 @@ class SupervisedExecutor(Executor):
 
         try:
             try:
-                pool = ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(units))
-                )
+                pool.ensure(tele)
                 for state in states:
                     self._log(
                         logbook, started, "engine",
@@ -436,20 +455,17 @@ class SupervisedExecutor(Executor):
                         # as a breakage.
                         breakages += 1
                         tele.count("resilient.pool_breakages")
-                        self._retire_pool(pool)
+                        pool.kill_workers(tele)
                         exceeded = breakages > self.policy.max_pool_breakages
                         if exceeded:
                             degraded = True
-                            pool = None
                             tele.count("resilient.degraded")
                             self._log(
                                 logbook, started, "engine",
                                 "workers keep dying; degrading to serial",
                             )
                         else:
-                            pool = ProcessPoolExecutor(
-                                max_workers=min(self.workers, len(units))
-                            )
+                            pool.ensure(tele)
                         timeout_exc = UnitTimeoutError(
                             f"unit {state.unit.key!r} exceeded the "
                             f"{self.policy.timeout_s:.3f}s response timeout"
@@ -471,6 +487,7 @@ class SupervisedExecutor(Executor):
                         # unit's retry budget.
                         breakages += 1
                         tele.count("resilient.pool_breakages")
+                        pool.mark_broken()
                         if breakages > self.policy.max_pool_breakages:
                             degraded = True
                             tele.count("resilient.degraded")
@@ -486,9 +503,7 @@ class SupervisedExecutor(Executor):
                             f"(breakage {breakages}/"
                             f"{self.policy.max_pool_breakages})",
                         )
-                        pool = ProcessPoolExecutor(
-                            max_workers=min(self.workers, len(units))
-                        )
+                        pool.ensure(tele)
                         _resubmit_pending()
                         continue
                     except CampaignInterrupted:
@@ -522,37 +537,17 @@ class SupervisedExecutor(Executor):
                     )
                 if on_result is not None:
                     on_result(index, reports[index], results[index])
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
+        except BaseException:
+            # Interrupt/SIGTERM path: release the processes instead of
+            # keeping a half-cancelled pool warm.
+            pool.close(cancel=True)
+            raise
+        if degraded:
+            # The pool was killed or marked broken on the way down;
+            # reap whatever is left so nothing lingers next to the
+            # serial continuation.
+            pool.close(cancel=True)
         return results, reports
-
-    @staticmethod
-    def _retire_pool(pool: ProcessPoolExecutor) -> None:
-        """Shut a pool down and kill its workers (the 'power cycle').
-
-        ``shutdown(cancel_futures=True)`` only cancels *pending*
-        futures -- a running (hung) unit keeps executing in its worker
-        process.  Without killing those workers every timeout would
-        leak a live process next to the replacement pool, and since
-        ``concurrent.futures`` joins workers at interpreter exit, one
-        genuinely hung unit could hang the CLI on exit despite the
-        timeout.
-        """
-        # Snapshot the workers first: shutdown() drops the pool's
-        # reference to them even with wait=False.
-        processes = list((getattr(pool, "_processes", None) or {}).values())
-        pool.shutdown(wait=False, cancel_futures=True)
-        for proc in processes:
-            try:
-                proc.kill()
-            except (OSError, ValueError, AttributeError):
-                pass  # already dead / exotic platform
-        for proc in processes:
-            try:
-                proc.join(timeout=5.0)
-            except (OSError, ValueError, AssertionError):
-                pass
 
     @staticmethod
     def _finish_failed(

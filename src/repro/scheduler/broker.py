@@ -164,6 +164,11 @@ class Broker:
         self._heap: List[tuple] = []
         self._sub_seq = 0
         self._token = 0
+        # Incrementally-maintained state counts: settling a unit used
+        # to rescan every record (O(n) per completion, O(n^2) per
+        # drain), which dominated the drain overhead at scale.
+        self._pending_units = 0
+        self._inflight_units = 0
 
     # -- bookkeeping helpers -----------------------------------------------------
 
@@ -190,15 +195,31 @@ class Broker:
             ),
         )
 
+    def _set_status(self, record: _UnitRecord, status: str) -> None:
+        """Transition a record, keeping the state counters exact."""
+        old = record.status
+        if old == status:
+            return
+        if old == PENDING:
+            self._pending_units -= 1
+        elif old == LEASED:
+            self._inflight_units -= 1
+        if status == PENDING:
+            self._pending_units += 1
+        elif status == LEASED:
+            self._inflight_units += 1
+        record.status = status
+
     def _update_gauges(self) -> None:
-        self.telemetry.set_gauge("scheduler.queue_depth", self.pending_count())
         self.telemetry.set_gauge(
-            "scheduler.inflight",
-            sum(1 for r in self._units.values() if r.status == LEASED),
+            "scheduler.queue_depth", self._pending_units
+        )
+        self.telemetry.set_gauge(
+            "scheduler.inflight", self._inflight_units
         )
 
     def pending_count(self) -> int:
-        return sum(1 for r in self._units.values() if r.status == PENDING)
+        return self._pending_units
 
     # -- submission --------------------------------------------------------------
 
@@ -254,8 +275,9 @@ class Broker:
                 sub_seq=submission.sub_seq,
             )
             self._units[planned.unit_id] = record
+            self._pending_units += 1
             if planned.unit_id in recovered:
-                record.status = DONE
+                self._set_status(record, DONE)
                 record.payload = recovered[planned.unit_id]
                 self.telemetry.count("scheduler.recovered")
             else:
@@ -278,7 +300,7 @@ class Broker:
         record = self._require_unit(unit_id)
         if record.status == DONE:
             return
-        record.status = DONE
+        self._set_status(record, DONE)
         record.payload = payload
         self.telemetry.count("scheduler.recovered")
         self._record_event("recover", unit=unit_id)
@@ -308,7 +330,7 @@ class Broker:
                 skipped.append(record)
                 continue
             self._token += 1
-            record.status = LEASED
+            self._set_status(record, LEASED)
             record.token = self._token
             record.worker = worker
             record.deadline = now + self.lease_ttl_s
@@ -358,13 +380,15 @@ class Broker:
         """Return overdue leases to the queue; list the expired ids."""
         now = self.clock() if now is None else now
         expired: List[str] = []
+        if not self._inflight_units:
+            return expired  # nothing leased, skip the full scan
         for record in self._units.values():
             if (
                 record.status == LEASED
                 and record.deadline is not None
                 and record.deadline <= now
             ):
-                record.status = PENDING
+                self._set_status(record, PENDING)
                 record.worker = None
                 record.deadline = None
                 self._push(record)
@@ -409,7 +433,7 @@ class Broker:
             if not won:
                 # Another broker committed first; adopt its payload so
                 # assembly sees the (identical) winning bytes.
-                record.status = DONE
+                self._set_status(record, DONE)
                 record.payload = self.store.read_commit(lease.unit_id)
                 self._clear_own_lease(lease.unit_id)
                 self.telemetry.count("scheduler.duplicates")
@@ -418,7 +442,7 @@ class Broker:
                 )
                 self._update_gauges()
                 return False
-        record.status = DONE
+        self._set_status(record, DONE)
         record.result = result
         record.payload = payload
         record.worker = None
@@ -441,7 +465,7 @@ class Broker:
         self.telemetry.count("scheduler.unit_failures")
         self._clear_own_lease(lease.unit_id)
         if requeue:
-            record.status = PENDING
+            self._set_status(record, PENDING)
             record.worker = None
             record.deadline = None
             self._push(record)
@@ -450,7 +474,7 @@ class Broker:
                 "requeue", unit=lease.unit_id, error=str(error)
             )
         else:
-            record.status = FAILED
+            self._set_status(record, FAILED)
             record.error = str(error)
             self._record_event("fail", unit=lease.unit_id, error=str(error))
         self._update_gauges()
@@ -475,7 +499,7 @@ class Broker:
                 record.submission_id == submission_id
                 and record.status == PENDING
             ):
-                record.status = CANCELLED
+                self._set_status(record, CANCELLED)
                 dropped += 1
         self.telemetry.count("scheduler.cancelled", n=dropped)
         self._record_event(
@@ -562,9 +586,7 @@ class Broker:
             "broker": self.broker_id,
             "capacity": self.capacity,
             "queued_units": self.pending_count(),
-            "inflight_units": sum(
-                1 for r in self._units.values() if r.status == LEASED
-            ),
+            "inflight_units": self._inflight_units,
             "submissions": subs,
         }
 

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from .. import __version__
+from ..engine import CAMPAIGN_WARMUP
 from ..errors import ReproError, SchedulerBusy, SchedulerError
 from ..io.atomic import atomic_write_json
 from ..io.json_store import campaign_dict_from_entries, campaign_from_dict
@@ -111,6 +112,7 @@ class CampaignService:
                 timeout_s=config.timeout_s, max_retries=config.retries
             ),
             workers=config.workers,
+            warmup=CAMPAIGN_WARMUP,
         )
         #: Serializes broker access between the asyncio loop and the
         #: executor thread's settlement callback.
@@ -500,6 +502,7 @@ class CampaignService:
             self.assemble_settled()
             self.write_status(state="stopped")
             self.journal.close()
+            self.executor.close()
         if self._stopping:
             from ..cli import EXIT_INTERRUPTED
 

@@ -97,6 +97,9 @@ def console_summary(
         sections.append(_manifest_section(manifest))
     if registry is not None:
         sections.append(_metrics_section(registry))
+        pool = _pool_section(registry)
+        if pool:
+            sections.append(pool)
     if manifest is not None and manifest.spans:
         sections.append(_spans_section(manifest.spans))
     if not sections:
@@ -152,6 +155,60 @@ def _metrics_section(registry: MetricsRegistry) -> str:
             )
     if len(lines) == 1:
         lines.append("  (empty)")
+    return "\n".join(lines)
+
+
+def _pool_section(registry: MetricsRegistry) -> str:
+    """Digest of the warm worker pool's behaviour, or "" without one.
+
+    Raw ``engine.pool.*`` counters already appear in the metrics
+    section; this renders the two questions an operator actually asks
+    -- did the pool stay warm (spawns vs reuses) and did workers see
+    pre-built state (warm-chunk hit rate) -- as ratios.
+    """
+    values = {
+        c.name: c.value
+        for c in registry.counters()
+        if c.name.startswith("engine.pool.") and not c.labels
+    }
+    if not values:
+        return ""
+    lines = ["Worker pool"]
+    spawns = values.get("engine.pool.spawns", 0)
+    reuses = values.get("engine.pool.reuses", 0)
+    batches = spawns + reuses
+    if batches:
+        lines.append(
+            f"  pool reuse    {reuses}/{batches} batch(es) on a warm pool"
+            f" ({spawns} spawn(s))"
+        )
+    respawns = values.get("engine.pool.respawns", 0)
+    kills = values.get("engine.pool.kills", 0)
+    if respawns or kills:
+        lines.append(
+            f"  recoveries    {respawns} respawn(s), {kills} kill(s)"
+        )
+    warm = values.get("engine.pool.warm_hits", 0)
+    cold = values.get("engine.pool.cold_chunks", 0)
+    if warm + cold:
+        rate = 100.0 * warm / (warm + cold)
+        lines.append(
+            f"  warm chunks   {warm}/{warm + cold} ({rate:.1f}% hit pre-built"
+            f" worker state)"
+        )
+    chunks = values.get("engine.pool.chunks", 0)
+    if chunks:
+        lines.append(f"  dispatch      {chunks} chunk(s)")
+    pickle_bytes = values.get("engine.pool.pickle_bytes", 0)
+    if pickle_bytes:
+        lines.append(f"  transport     {pickle_bytes} pickled byte(s)")
+    segments = values.get("engine.pool.shm_segments", 0)
+    if segments:
+        lines.append(
+            f"                {segments} shared-memory segment(s)"
+        )
+    if len(lines) == 1:
+        return ""
     return "\n".join(lines)
 
 

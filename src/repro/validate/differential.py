@@ -432,11 +432,8 @@ class DifferentialRunner:
         )
 
     @staticmethod
-    def _run_leases(broker, leases) -> None:
+    def _run_leases(broker, leases, executor) -> None:
         """Fly one leased batch on a supervised pool; commit payloads."""
-        executor = SupervisedExecutor(
-            policy=SupervisionPolicy(backoff_s=0.0), workers=2
-        )
 
         def settle(index, report, result):
             lease = leases[index]
@@ -459,11 +456,20 @@ class DifferentialRunner:
         executor.map([lease.unit for lease in leases], on_result=settle)
 
     def _drain_in_batches(self, broker, worker: str, batch: int = 2) -> None:
-        while True:
-            leases = broker.lease(worker, limit=batch)
-            if not leases:
-                break
-            self._run_leases(broker, leases)
+        # One warm executor across every lease batch: the pairing then
+        # proves pool *reuse* (not just pooled execution) preserves
+        # byte-identity with the serial reference.
+        executor = SupervisedExecutor(
+            policy=SupervisionPolicy(backoff_s=0.0), workers=2
+        )
+        try:
+            while True:
+                leases = broker.lease(worker, limit=batch)
+                if not leases:
+                    break
+                self._run_leases(broker, leases, executor)
+        finally:
+            executor.close()
 
     @staticmethod
     def _assembled_json(broker, plan) -> str:
@@ -525,7 +531,15 @@ class DifferentialRunner:
             store=shared, broker_id="dead", clock=now, lease_ttl_s=30.0
         )
         broker_a.submit(plan_a)
-        self._run_leases(broker_a, broker_a.lease("dead", limit=2))
+        executor_a = SupervisedExecutor(
+            policy=SupervisionPolicy(backoff_s=0.0), workers=2
+        )
+        try:
+            self._run_leases(
+                broker_a, broker_a.lease("dead", limit=2), executor_a
+            )
+        finally:
+            executor_a.close()
         abandoned = broker_a.lease("dead", limit=2)
 
         # Broker B on the same store: adopts A's commits at submit time,

@@ -219,6 +219,10 @@ class TestParallel:
         executor = make_executor(workers=2, chaos=chaos, timeout_s=0.2)
         results = executor.map(units(2))
         assert results == [0, 1]
+        # Healthy workers stay warm for the next batch by design;
+        # close() reaps them so only a genuinely hung (unkilled) worker
+        # could keep a child alive past the deadline.
+        executor.close()
         deadline = time.monotonic() + 10.0
         while time.monotonic() < deadline:
             if not any(

@@ -80,13 +80,19 @@ class TestParallelExecutor:
         with pytest.raises(EngineError):
             ParallelExecutor(2, fallback=False).map(units)
 
-    def test_worker_exception_surfaces_via_serial_fallback(self):
-        # A unit that raises is indistinguishable from a broken pool at
-        # the futures layer; the serial fallback reruns it in-process,
-        # so the caller sees the genuine exception.
+    def test_worker_exception_reraised_without_fallback(self):
+        # Unit exceptions ship back inside chunk outcomes and re-raise
+        # at their submission position; the serial fallback is reserved
+        # for pool *infrastructure* trouble, so a failing unit must not
+        # silently rerun in-process.
+        from repro.telemetry import Telemetry
+
         units = [WorkUnit(key=f"b{i}", fn=_boom, args=(i,)) for i in range(2)]
+        telemetry = Telemetry()
         with pytest.raises(ValueError, match="boom"):
-            ParallelExecutor(2).map(units)
+            ParallelExecutor(2).map(units, telemetry=telemetry)
+        counters = telemetry.metrics.counter_values()
+        assert "engine.pool_fallbacks" not in counters
 
 
 class TestResolveExecutor:
