@@ -86,3 +86,35 @@ def test_bench_drain_overhead(benchmark):
         f"overhead {overhead * 1e6:.1f} us/unit"
     )
     assert overhead < MAX_OVERHEAD_S_PER_UNIT
+
+
+def test_bench_hardened_commit_path(benchmark, tmp_path):
+    """Fenced, checksummed, read-back-verified commits per second.
+
+    The hardening added sha256 over the payload, a self-describing
+    header, a fencing check, and a verify-after-write read-back on
+    every commit.  All of it must stay far below a session flight.
+    """
+    from repro.scheduler import DirectoryStore
+
+    n = 64
+    rounds = {"i": 0}
+    payload = {"key": "session1", "value": [0.25] * 64}
+
+    def commit_batch():
+        rounds["i"] += 1
+        store = DirectoryStore(str(tmp_path / f"store-{rounds['i']}"))
+        epoch = store.register_epoch("bench")
+        done = 0
+        for i in range(n):
+            if store.try_commit(
+                f"benchbenchbe/u{i}", payload, epoch=epoch, owner="bench"
+            ):
+                done += 1
+        return done
+
+    assert benchmark(commit_batch) == n
+    per_commit = benchmark.stats.stats.mean / n
+    print(f"\nhardened commit: {per_commit * 1e6:.1f} us/commit")
+    # fsync-bound, so generous: still ~100x under a scaled session.
+    assert per_commit < 0.01

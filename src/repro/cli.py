@@ -681,6 +681,7 @@ def _spec_from_args(args: argparse.Namespace):
         flux_per_cm2_s=args.flux,
         vectorized=not args.no_vectorized,
         priority=args.priority,
+        max_workers=args.max_workers,
         name=args.name or "",
     )
 
@@ -700,6 +701,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         validate=args.validate,
+        store_chaos=args.store_chaos,
     )
     service = CampaignService(config, telemetry=Telemetry())
     where = (
@@ -824,6 +826,20 @@ def _cmd_status(args: argparse.Namespace) -> int:
         f"capacity {status.get('capacity')}, "
         f"updated {age:.0f}s ago"
     )
+    store = status.get("store")
+    if isinstance(store, dict):
+        epochs = ", ".join(
+            f"{broker}={epoch}"
+            for broker, epoch in sorted(
+                (store.get("epochs") or {}).items()
+            )
+        )
+        print(
+            f"store: epochs [{epochs or 'none'}], "
+            f"{store.get('quarantined', 0)} quarantined, "
+            f"{store.get('retries', 0)} retried I/O op(s), "
+            f"{store.get('fenced', 0)} fenced write(s)"
+        )
     table = Table(
         title="Submissions",
         header=["Submission", "Name", "Priority", "Units", "State"],
@@ -1151,6 +1167,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(validation.json next to campaign.json; verdict in "
         "status.json)",
     )
+    serve.add_argument(
+        "--store-chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults into the shared store: inline "
+        "JSON or a path to a store-chaos spec (torn_write, "
+        "corrupt_commit, duplicate_link, stale_read, transient_errno "
+        "op-index lists; self-test/CI only)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -1179,6 +1204,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="broker queueing priority; higher leases first (default: 0)",
+    )
+    submit.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap how many pool workers this submission may occupy at "
+        "once, so one huge sweep cannot starve the queue (default: "
+        "no cap)",
     )
     submit.add_argument("--name", default=None, help="display name")
     submit.add_argument(

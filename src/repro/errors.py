@@ -114,6 +114,30 @@ class LeaseError(SchedulerError):
     or already-settled work unit lease."""
 
 
+class StaleFencingToken(SchedulerError):
+    """A store write carried a fencing epoch that has been superseded.
+
+    Raised when a broker whose lease expired (and was taken over by a
+    broker holding a higher epoch) -- or whose identity was re-registered
+    by a newer incarnation -- tries to commit or publish a lease.  The
+    write was rejected *before* touching shared state: the stale
+    broker's payload is never adopted, closing the double-commit window
+    that ``os.link`` exclusivity alone cannot close on non-POSIX-atomic
+    network filesystems.
+    """
+
+
+class StoreUnavailable(SchedulerError):
+    """The shared store's transient-I/O retry budget is exhausted.
+
+    EIO/ESTALE/EAGAIN-class errors are retried with a bounded,
+    deterministic backoff; when the filesystem keeps failing past the
+    budget, the operation degrades to this typed failure (backpressure,
+    like :class:`SchedulerBusy`) instead of wedging or silently
+    dropping state.
+    """
+
+
 class LogbookError(ReproError):
     """A logbook entry used a kind outside the documented closed set."""
 

@@ -9,9 +9,18 @@ The scheduling layer lifted out of :class:`~repro.harness.campaign.Campaign`:
 * :mod:`repro.scheduler.broker` -- the bounded, prioritized lease queue
   with heartbeats, expiry-based dead-worker pickup, config-hash dedupe
   and exactly-once settlement;
-* :mod:`repro.scheduler.store` -- shared-directory commits (exclusive,
-  via ``os.link``) and advisory leases, so two broker processes on one
-  results directory cooperate instead of double-committing.
+* :mod:`repro.scheduler.store` -- shared-directory commits (exclusive
+  ``os.link`` plus checksummed, fenced, versioned records), advisory
+  leases, and a ``quarantine/`` for records that fail verification, so
+  two broker processes on one results directory cooperate instead of
+  double-committing -- even on non-POSIX-atomic network filesystems;
+* :mod:`repro.scheduler.fencing` -- the append-only epoch ledger that
+  issues each broker its monotonically increasing fencing token;
+* :mod:`repro.scheduler.retry` -- the bounded, deterministic retry
+  envelope around transient store I/O (EIO/ESTALE/EAGAIN);
+* :mod:`repro.scheduler.chaos_store` -- :class:`FaultyStore`, the
+  deterministic store-level fault injector (torn writes, stale reads,
+  ghost link races) that characterizes all of the above.
 
 Scheduling decides *when and where* units run, never *what they
 compute*: session streams derive from ``(seed, label)`` alone, so any
@@ -30,7 +39,10 @@ from .broker import (
     PENDING,
     Submission,
 )
+from .chaos_store import FaultyStore, StoreChaosSpec
+from .fencing import FencingRegistry
 from .planner import CampaignPlan, PlannedUnit, plan_campaign, plan_units
+from .retry import RetryPolicy, TRANSIENT_ERRNOS
 from .spec import CampaignSpec
 from .store import DirectoryStore
 
@@ -39,12 +51,17 @@ __all__ = [
     "CampaignPlan",
     "CampaignSpec",
     "DirectoryStore",
+    "FaultyStore",
+    "FencingRegistry",
     "Lease",
     "PlannedUnit",
+    "RetryPolicy",
+    "StoreChaosSpec",
     "Submission",
     "plan_campaign",
     "plan_units",
     "DEFAULT_LEASE_TTL_S",
+    "TRANSIENT_ERRNOS",
     "PENDING",
     "LEASED",
     "DONE",

@@ -24,7 +24,14 @@ commit also lands as an exclusive file in the shared directory and
 every lease is published there, so a *second broker process* pointed at
 the same directory recovers committed units instantly and takes over
 expired leases -- multi-host scheduling over a shared filesystem, with
-correctness resting only on the commit's exclusivity.
+correctness resting only on the commit's exclusivity plus the fencing
+epoch.  A store-backed broker registers a fencing epoch at
+construction and stamps it on every lease and commit; when a write is
+rejected with :class:`~repro.errors.StaleFencingToken` (this broker was
+superseded on that unit), the broker adopts the winning commit if one
+exists, re-queues the unit otherwise, and re-registers for a fresh
+epoch so it keeps participating -- the stale write itself is never
+adopted.
 
 Determinism contract: scheduling decides *when and where* a unit runs,
 never *what it computes* -- units derive their streams from
@@ -41,7 +48,12 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..engine.executor import WorkUnit
-from ..errors import LeaseError, SchedulerBusy, SchedulerError
+from ..errors import (
+    LeaseError,
+    SchedulerBusy,
+    SchedulerError,
+    StaleFencingToken,
+)
 from ..telemetry import NULL_TELEMETRY
 from .planner import CampaignPlan, PlannedUnit
 from .store import DirectoryStore
@@ -100,6 +112,7 @@ class Submission:
     plan: CampaignPlan
     cancelled: bool = False
     deduped: int = 0
+    max_workers: Optional[int] = None
 
     def to_dict(self, unit_states: Dict[str, int]) -> dict:
         return {
@@ -109,6 +122,7 @@ class Submission:
             "priority": self.priority,
             "cancelled": self.cancelled,
             "deduped": self.deduped,
+            "max_workers": self.max_workers,
             "units": unit_states,
         }
 
@@ -159,6 +173,11 @@ class Broker:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.broker_id = broker_id
         self.journal = journal
+        # A store-backed broker fences every write with its epoch; the
+        # registration itself is the broker "joining" the shared root.
+        self.epoch: Optional[int] = (
+            store.register_epoch(broker_id) if store is not None else None
+        )
         self._submissions: Dict[str, Submission] = {}
         self._units: Dict[str, _UnitRecord] = {}
         self._heap: List[tuple] = []
@@ -169,6 +188,8 @@ class Broker:
         # drain), which dominated the drain overhead at scale.
         self._pending_units = 0
         self._inflight_units = 0
+        # Leased units per submission, for --max-workers quotas.
+        self._inflight_by_sub: Dict[str, int] = {}
 
     # -- bookkeeping helpers -----------------------------------------------------
 
@@ -200,15 +221,40 @@ class Broker:
         old = record.status
         if old == status:
             return
+        sid = record.submission_id
         if old == PENDING:
             self._pending_units -= 1
         elif old == LEASED:
             self._inflight_units -= 1
+            self._inflight_by_sub[sid] = self._inflight_by_sub.get(sid, 1) - 1
         if status == PENDING:
             self._pending_units += 1
         elif status == LEASED:
             self._inflight_units += 1
+            self._inflight_by_sub[sid] = self._inflight_by_sub.get(sid, 0) + 1
         record.status = status
+
+    def _refence(self) -> None:
+        """Recover from a fencing rejection: take a fresh, higher epoch.
+
+        The rejected write is gone for good -- re-registering only lets
+        this broker keep participating with writes that are no longer
+        stale.
+        """
+        self.telemetry.count("scheduler.fenced")
+        if self.store is not None:
+            self.epoch = self.store.register_epoch(self.broker_id)
+
+    def _requeue_record(self, record: _UnitRecord, reason: str) -> None:
+        """Return a leased unit to the queue (fencing/commit fallout)."""
+        self._set_status(record, PENDING)
+        record.worker = None
+        record.deadline = None
+        self._push(record)
+        self.telemetry.count("scheduler.requeued")
+        self._record_event(
+            "requeue", unit=record.planned.unit_id, error=reason
+        )
 
     def _update_gauges(self) -> None:
         self.telemetry.set_gauge(
@@ -264,6 +310,7 @@ class Broker:
             priority=effective_priority,
             sub_seq=self._sub_seq,
             plan=plan,
+            max_workers=plan.max_workers,
         )
         self._sub_seq += 1
         self._submissions[sid] = submission
@@ -324,6 +371,10 @@ class Broker:
             record = self._units.get(unit_id)
             if record is None or record.status != PENDING:
                 continue  # lazily dropped (settled, cancelled, re-queued)
+            if self._quota_saturated(record.submission_id):
+                skipped.append(record)
+                self.telemetry.count("scheduler.quota_deferred")
+                continue
             if self.store is not None and self.store.foreign_lease_live(
                 unit_id, self.broker_id
             ):
@@ -334,10 +385,8 @@ class Broker:
             record.token = self._token
             record.worker = worker
             record.deadline = now + self.lease_ttl_s
-            if self.store is not None:
-                self.store.write_lease(
-                    unit_id, self.broker_id, self.lease_ttl_s
-                )
+            if self.store is not None and not self._publish_lease(record):
+                continue  # fenced twice; the unit went back to the queue
             self.telemetry.count("scheduler.leased")
             self._record_event(
                 "lease", unit=unit_id, worker=worker, token=record.token
@@ -359,8 +408,47 @@ class Broker:
         self._update_gauges()
         return leases
 
+    def _quota_saturated(self, submission_id: str) -> bool:
+        """True when the submission's --max-workers quota is in use."""
+        submission = self._submissions.get(submission_id)
+        if submission is None or submission.max_workers is None:
+            return False
+        return (
+            self._inflight_by_sub.get(submission_id, 0)
+            >= submission.max_workers
+        )
+
+    def _publish_lease(self, record: _UnitRecord) -> bool:
+        """Publish a fresh lease to the store; False when fenced twice.
+
+        A fencing rejection here means another broker holds the unit at
+        a higher epoch *or* this incarnation was superseded; after
+        re-registering, one retry distinguishes the two.  A second
+        rejection is a genuinely foreign hold -- the unit goes back to
+        the queue.
+        """
+        unit_id = record.planned.unit_id
+        for attempt in (0, 1):
+            try:
+                self.store.write_lease(
+                    unit_id, self.broker_id, self.lease_ttl_s,
+                    epoch=self.epoch,
+                )
+                return True
+            except StaleFencingToken:
+                self._refence()
+                self._record_event("fenced", unit=unit_id, op="lease")
+        self._requeue_record(record, "fenced while publishing lease")
+        return False
+
     def heartbeat(self, lease: Lease, now: Optional[float] = None) -> Lease:
-        """Extend a live lease; raises LeaseError when it is stale."""
+        """Extend a live lease; raises LeaseError when it is stale.
+
+        A store-backed heartbeat that is *fenced* (another broker took
+        the unit over at a higher epoch) re-queues the unit and raises
+        LeaseError: to the worker loop a fenced lease and a stale lease
+        are the same event -- stop working on this unit.
+        """
         record = self._require_unit(lease.unit_id)
         if record.status != LEASED or record.token != lease.token:
             raise LeaseError(
@@ -370,9 +458,21 @@ class Broker:
         now = self.clock() if now is None else now
         record.deadline = now + self.lease_ttl_s
         if self.store is not None:
-            self.store.write_lease(
-                lease.unit_id, self.broker_id, self.lease_ttl_s
-            )
+            try:
+                self.store.write_lease(
+                    lease.unit_id, self.broker_id, self.lease_ttl_s,
+                    epoch=self.epoch,
+                )
+            except StaleFencingToken as exc:
+                self._refence()
+                self._record_event(
+                    "fenced", unit=lease.unit_id, op="heartbeat"
+                )
+                self._requeue_record(record, "fenced during heartbeat")
+                self._update_gauges()
+                raise LeaseError(
+                    f"lease on {lease.unit_id!r} was fenced: {exc}"
+                ) from exc
         self.telemetry.count("scheduler.heartbeats")
         return replace(lease, deadline=record.deadline)
 
@@ -429,19 +529,8 @@ class Broker:
                     "a store-backed broker needs the encoded payload to "
                     "commit (got payload=None)"
                 )
-            won = self.store.try_commit(lease.unit_id, payload)
-            if not won:
-                # Another broker committed first; adopt its payload so
-                # assembly sees the (identical) winning bytes.
-                self._set_status(record, DONE)
-                record.payload = self.store.read_commit(lease.unit_id)
-                self._clear_own_lease(lease.unit_id)
-                self.telemetry.count("scheduler.duplicates")
-                self._record_event(
-                    "duplicate", unit=lease.unit_id, worker=lease.worker
-                )
-                self._update_gauges()
-                return False
+            if not self._commit_to_store(record, lease, payload):
+                return False  # settled inside: adopted or re-queued
         self._set_status(record, DONE)
         record.result = result
         record.payload = payload
@@ -454,6 +543,65 @@ class Broker:
         )
         self._update_gauges()
         return True
+
+    def _adopt_commit(
+        self, record: _UnitRecord, lease: Lease, payload: dict
+    ) -> None:
+        """Settle a lost race by adopting the verified winning payload."""
+        self._set_status(record, DONE)
+        record.payload = payload
+        self._clear_own_lease(lease.unit_id)
+        self.telemetry.count("scheduler.duplicates")
+        self._record_event(
+            "duplicate", unit=lease.unit_id, worker=lease.worker
+        )
+
+    def _commit_to_store(
+        self, record: _UnitRecord, lease: Lease, payload: dict
+    ) -> bool:
+        """Drive one unit's payload through the hardened commit path.
+
+        True means this broker's bytes won and the caller finishes the
+        settlement; False means the unit was settled here instead --
+        either a verified foreign commit was adopted, or (when the
+        write was fenced / kept failing verification with nothing to
+        adopt) the unit went back to the queue.
+
+        The loop exists because losing the link race no longer implies
+        a winner: the "winner" may have been quarantined by its own
+        readback, freeing the name.  Three dry rounds -- lost the race,
+        but nothing adoptable survived -- means the shared medium is
+        eating every record; the unit is re-queued rather than spinning.
+        """
+        unit_id = lease.unit_id
+        for _ in range(3):
+            try:
+                if self.store.try_commit(
+                    unit_id, payload, epoch=self.epoch, owner=self.broker_id
+                ):
+                    return True
+            except StaleFencingToken:
+                # This broker was superseded on the unit; the stale
+                # write was rejected before touching shared state.
+                self._refence()
+                self._record_event("fenced", unit=unit_id, op="commit")
+                adopted = self.store.read_commit(unit_id)
+                if adopted is not None:
+                    self._adopt_commit(record, lease, adopted)
+                else:
+                    self._clear_own_lease(unit_id)
+                    self._requeue_record(record, "fenced during commit")
+                self._update_gauges()
+                return False
+            adopted = self.store.read_commit(unit_id)
+            if adopted is not None:
+                self._adopt_commit(record, lease, adopted)
+                self._update_gauges()
+                return False
+        self._clear_own_lease(unit_id)
+        self._requeue_record(record, "commit kept failing verification")
+        self._update_gauges()
+        return False
 
     def fail(
         self, lease: Lease, error: str, requeue: bool = False
@@ -585,9 +733,13 @@ class Broker:
             "schema": 1,
             "broker": self.broker_id,
             "capacity": self.capacity,
+            "epoch": self.epoch,
             "queued_units": self.pending_count(),
             "inflight_units": self._inflight_units,
             "submissions": subs,
+            "store": (
+                self.store.health() if self.store is not None else None
+            ),
         }
 
     # -- in-process drain (the Campaign.run shim's engine room) ------------------

@@ -1,0 +1,155 @@
+"""Fencing tokens: monotonically increasing broker epochs in the store.
+
+``os.link`` exclusivity makes commits exactly-once on a POSIX
+filesystem, but the campaign service is designed to run on *shared*
+(often network-mounted) roots where that guarantee frays: a broker
+whose lease expired can wake up seconds later and still win a link race
+against the broker that legitimately took the unit over.  The classic
+fix is a fencing token -- a number that only ever grows, issued when a
+broker (re)joins the store, carried on every write, and checked so a
+write stamped with a superseded token is rejected before it can touch
+shared state.
+
+:class:`FencingRegistry` is that token issuer, built from the same
+primitive the commits trust: each epoch is an ``epochs/epoch-<N>.json``
+file created with an exclusive hard link, so two brokers racing to
+register can never be issued the same number.  Epoch files are
+immutable once written and never deleted -- the registry is an
+append-only ledger of who joined when, which also makes it the ``store
+health`` record of every broker the directory has seen.
+
+A broker that discovers it has been fenced (its write raised
+:class:`~repro.errors.StaleFencingToken`) re-registers to obtain a
+fresh, higher epoch before continuing; the stale write stays rejected,
+but the broker itself is not exiled forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, Optional
+
+#: Subdirectory of the scheduler state root holding the epoch ledger.
+EPOCHS_DIR = "epochs"
+
+_PREFIX = "epoch-"
+_SUFFIX = ".json"
+
+
+class FencingRegistry:
+    """The append-only epoch ledger shared by every broker on one root.
+
+    Parameters
+    ----------
+    root:
+        The scheduler state directory (the ledger lives in
+        ``root/epochs/``).  Created on first use.
+    clock:
+        Wall-clock source for the advisory ``registered_unix`` stamp in
+        epoch records (never used for ordering -- the epoch number is
+        the only ordering that matters).
+    """
+
+    def __init__(
+        self, root: str, clock: Optional[Callable[[], float]] = None
+    ) -> None:
+        self._dir = os.path.join(root, EPOCHS_DIR)
+        self.clock = clock or time.time
+        os.makedirs(self._dir, exist_ok=True)
+        # Epoch files are immutable, so parsed records can be cached
+        # forever; only the directory listing is re-read.
+        self._cache: Dict[str, dict] = {}
+
+    def _path(self, epoch: int) -> str:
+        return os.path.join(self._dir, f"{_PREFIX}{epoch:08d}{_SUFFIX}")
+
+    def _epoch_numbers(self) -> list:
+        numbers = []
+        for name in os.listdir(self._dir):
+            if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+                continue
+            try:
+                numbers.append(int(name[len(_PREFIX) : -len(_SUFFIX)]))
+            except ValueError:
+                continue  # stray file; never block registration on it
+        return numbers
+
+    def _record(self, epoch: int) -> Optional[dict]:
+        path = self._path(epoch)
+        cached = self._cache.get(path)
+        if cached is not None:
+            return cached
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        if isinstance(record, dict):
+            self._cache[path] = record
+            return record
+        return None
+
+    # -- the issuer --------------------------------------------------------------
+
+    def register(self, broker_id: str) -> int:
+        """Issue the next epoch to *broker_id*; returns the number.
+
+        The epoch file is created with an exclusive hard link (the same
+        primitive the commits trust), so two racing registrations are
+        serialized by the filesystem: the loser observes
+        ``FileExistsError`` and claims the next number instead.
+        """
+        while True:
+            epoch = self.latest_epoch() + 1
+            record = {
+                "schema": 1,
+                "epoch": epoch,
+                "broker": broker_id,
+                "registered_unix": self.clock(),
+            }
+            final = self._path(epoch)
+            tmp = f"{final}.tmp-{os.getpid()}"
+            with open(tmp, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            try:
+                os.link(tmp, final)
+            except FileExistsError:
+                continue  # lost the race; claim the next number
+            finally:
+                os.unlink(tmp)
+            self._cache[final] = record
+            return epoch
+
+    # -- inspection --------------------------------------------------------------
+
+    def latest_epoch(self) -> int:
+        """The highest epoch ever issued on this root (0 = none yet)."""
+        numbers = self._epoch_numbers()
+        return max(numbers) if numbers else 0
+
+    def latest_for(self, broker_id: str) -> Optional[int]:
+        """The highest epoch issued to *broker_id*, or None."""
+        latest: Optional[int] = None
+        for epoch in self._epoch_numbers():
+            record = self._record(epoch)
+            if record is None or record.get("broker") != broker_id:
+                continue
+            if latest is None or epoch > latest:
+                latest = epoch
+        return latest
+
+    def epochs(self) -> Dict[str, int]:
+        """Current epoch per broker: ``broker_id -> highest epoch``."""
+        current: Dict[str, int] = {}
+        for epoch in sorted(self._epoch_numbers()):
+            record = self._record(epoch)
+            if record is None:
+                continue
+            broker = record.get("broker")
+            if isinstance(broker, str):
+                current[broker] = epoch
+        return current

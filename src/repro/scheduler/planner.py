@@ -64,6 +64,7 @@ class CampaignPlan:
     spec: Optional[CampaignSpec] = None
     seed: int = 2023
     time_scale: float = 1.0
+    max_workers: Optional[int] = None
 
     @property
     def submission_id(self) -> str:
@@ -132,4 +133,5 @@ def plan_campaign(
         spec=spec,
         seed=spec.seed,
         time_scale=spec.time_scale,
+        max_workers=spec.max_workers,
     )

@@ -38,6 +38,7 @@ _SPEC_KEYS = frozenset(
         "flux_per_cm2_s",
         "vectorized",
         "priority",
+        "max_workers",
     }
 )
 
@@ -55,6 +56,12 @@ class CampaignSpec:
         Broker queueing priority (higher leases first; default 0).
         Scheduling only -- never part of the config hash, because it
         cannot change the physics.
+    max_workers:
+        Cap on how many pool workers this submission's leased batches
+        may occupy at once (``None`` = no cap).  Scheduling only, like
+        ``priority`` -- a quota cannot change the physics, so it never
+        enters the config hash; one huge sweep throttled to 2 workers
+        is the *same submission* as the unthrottled one.
     name:
         Display name for status output; defaults to the submission id.
     """
@@ -64,6 +71,7 @@ class CampaignSpec:
     flux_per_cm2_s: Optional[float] = None
     vectorized: bool = True
     priority: int = 0
+    max_workers: Optional[int] = None
     name: str = ""
     _config_hash: Optional[str] = field(
         default=None, repr=False, compare=False
@@ -87,6 +95,15 @@ class CampaignSpec:
         ):
             raise SchedulerError(
                 f"spec priority must be an int, got {self.priority!r}"
+            )
+        if self.max_workers is not None and (
+            not isinstance(self.max_workers, int)
+            or isinstance(self.max_workers, bool)
+            or self.max_workers < 1
+        ):
+            raise SchedulerError(
+                f"spec max_workers must be a positive int or null, "
+                f"got {self.max_workers!r}"
             )
         object.__setattr__(self, "time_scale", float(self.time_scale))
 
@@ -141,6 +158,8 @@ class CampaignSpec:
         }
         if self.flux_per_cm2_s is not None:
             data["flux_per_cm2_s"] = self.flux_per_cm2_s
+        if self.max_workers is not None:
+            data["max_workers"] = self.max_workers
         if self.name:
             data["name"] = self.name
         return data
@@ -168,6 +187,7 @@ class CampaignSpec:
                 flux_per_cm2_s=data.get("flux_per_cm2_s"),
                 vectorized=bool(data.get("vectorized", True)),
                 priority=data.get("priority", 0),
+                max_workers=data.get("max_workers"),
                 name=str(data.get("name", "")),
             )
         except TypeError as exc:

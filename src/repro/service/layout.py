@@ -8,14 +8,20 @@ One directory is the whole deployment::
         rejected/                # malformed jobs + .error.txt diagnoses
       scheduler/                 # shared broker state (multi-process safe)
         commits/                 # exclusive per-unit completion payloads
+                                 #   (checksummed, fenced format-2 records)
         leases/                  # advisory per-unit lease files
+        epochs/                  # append-only fencing-epoch ledger
+        quarantine/              # commit records that failed verification,
+                                 #   each next to a .reason.json diagnosis
         journal-<broker>.jsonl   # per-broker scheduling event journal
       results/<submission>/      # assembled campaign.json, dmesg, manifest
       status.json                # latest broker status snapshot (atomic)
 
 Everything under ``scheduler/`` is written to be shared: a second
 ``repro-campaign serve ROOT`` on the same (possibly network-mounted)
-root recovers committed units and takes over expired leases.
+root recovers committed units, takes over expired leases, and -- via
+its fencing epoch -- can never have a late write from a superseded
+broker adopted as truth.
 """
 
 from __future__ import annotations

@@ -75,6 +75,12 @@ class ServiceConfig:
     #: assembled submission, writing ``validation.json`` next to
     #: ``campaign.json`` and surfacing the verdict in ``status.json``.
     validate: bool = False
+    #: Store-level chaos plan (inline JSON or a path, parsed by
+    #: :meth:`~repro.scheduler.StoreChaosSpec.from_json`): wraps the
+    #: scheduler directory in a :class:`~repro.scheduler.FaultyStore`.
+    #: Harness self-test only -- the CI ``chaos-store`` job drives a
+    #: 2-broker drain through it.
+    store_chaos: Optional[str] = None
 
     def resolved_broker_id(self) -> str:
         return self.broker_id or f"broker-{os.getpid()}"
@@ -91,7 +97,18 @@ class CampaignService:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.broker_id = config.resolved_broker_id()
         layout.ensure_layout(self.root)
-        self.store = DirectoryStore(layout.scheduler_dir(self.root))
+        if config.store_chaos:
+            from ..scheduler import FaultyStore, StoreChaosSpec
+
+            self.store: DirectoryStore = FaultyStore(
+                layout.scheduler_dir(self.root),
+                StoreChaosSpec.from_json(config.store_chaos),
+                telemetry=self.telemetry,
+            )
+        else:
+            self.store = DirectoryStore(
+                layout.scheduler_dir(self.root), telemetry=self.telemetry
+            )
         self.journal = EventJournal(
             os.path.join(
                 layout.scheduler_dir(self.root),

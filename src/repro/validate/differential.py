@@ -24,6 +24,13 @@ of "this knob does not change the physics":
     same shared directory adopting the commits and taking over the
     expired leases -- byte-identical assembled campaigns (the
     dead-worker pickup path).
+``store_chaos``
+    A plain serial campaign vs *two* brokers draining the same plan
+    through one :class:`~repro.scheduler.FaultyStore` that injects
+    torn writes, post-commit corruption, a ghost duplicate-link win,
+    a stale read and a transient errno -- byte-identical assembled
+    campaigns, with every corrupted record recovered through
+    ``quarantine/`` + re-commit (the store-hardening guarantee).
 ``injector``
     Vectorized vs scalar injection.  These deliberately consume their
     RNG streams differently (one draw layout per path), so the promise
@@ -84,6 +91,7 @@ PAIRINGS = (
     "resume",
     "broker",
     "lease_resume",
+    "store_chaos",
 )
 
 #: Maximum leaf diffs a report keeps per pairing (enough to localize a
@@ -220,6 +228,7 @@ class DifferentialRunner:
             "resume": self._pair_resume,
             "broker": self._pair_broker,
             "lease_resume": self._pair_lease_resume,
+            "store_chaos": self._pair_store_chaos,
         }
 
     def pairings(self) -> List[str]:
@@ -594,4 +603,96 @@ class DifferentialRunner:
             report.field_diffs = diff_encoded(
                 json.loads(fresh_json), json.loads(resumed_json)
             )
+        return report
+
+    def _pair_store_chaos(self) -> DiffReport:
+        from ..scheduler import Broker, FaultyStore, StoreChaosSpec
+
+        serial = self._fly(executor=SerialExecutor())
+        workdir = tempfile.mkdtemp(
+            prefix="repro-diff-chaos-", dir=self._workdir
+        )
+        # One fault of every kind, placed early so the very first
+        # commit survives a torn write, a transient EIO on its link,
+        # and post-commit bit rot (driving the broker's full
+        # quarantine + re-commit loop), plus a ghost link win and a
+        # stale read later in the drain.
+        chaos = StoreChaosSpec(
+            torn_write=(0,),
+            transient_errno=(1,),
+            corrupt_commit=(2,),
+            duplicate_link=(6,),
+            stale_read=(12,),
+        )
+        store = FaultyStore(
+            os.path.join(workdir, "store"), chaos, sleep=lambda _s: None
+        )
+        plan_a, plan_b = self._campaign_plan(), self._campaign_plan()
+        broker_a = Broker(store=store, broker_id="chaos-a")
+        broker_b = Broker(store=store, broker_id="chaos-b")
+        broker_a.submit(plan_a)
+        broker_b.submit(plan_b)
+        executor = SupervisedExecutor(
+            policy=SupervisionPolicy(backoff_s=0.0), workers=2
+        )
+        max_rounds, rounds = 12, 0
+        try:
+            while rounds < max_rounds and not (
+                broker_a.is_complete(plan_a.submission_id)
+                and broker_b.is_complete(plan_b.submission_id)
+            ):
+                rounds += 1
+                for broker, worker in (
+                    (broker_a, "chaos-a"),
+                    (broker_b, "chaos-b"),
+                ):
+                    leases = broker.lease(worker, limit=2)
+                    if leases:
+                        self._run_leases(broker, leases, executor)
+        finally:
+            executor.close()
+        assembled_a = self._assembled_json(broker_a, plan_a)
+        assembled_b = self._assembled_json(broker_b, plan_b)
+        report = self._byte_report(
+            "store_chaos",
+            "serial Campaign.run",
+            serial,
+            "2 brokers over a FaultyStore",
+            None,
+            bytes_b=assembled_a,
+        )
+        agree = assembled_a == assembled_b
+        report.gates.append(
+            GateResult(
+                gate="differential/store_chaos/convergence",
+                ok=rounds < max_rounds and agree,
+                measured=f"rounds={rounds}, brokers agree={agree}",
+                expected=(
+                    f"both brokers complete in < {max_rounds} rounds "
+                    f"and assemble the same bytes"
+                ),
+                detail="alternating 2-unit batches over one faulted store",
+            )
+        )
+        health = store.health()
+        reasons = store.quarantined_units()
+        ok_quarantine = (
+            health["quarantined"] >= 2
+            and len(reasons) == health["quarantined"]
+            and all(r.get("reason") for r in reasons)
+        )
+        report.gates.append(
+            GateResult(
+                gate="differential/store_chaos/quarantine",
+                ok=ok_quarantine,
+                measured=(
+                    f"quarantined={health['quarantined']}, "
+                    f"reason files={len(reasons)}, "
+                    f"injected={sum(store.injected.values())}"
+                ),
+                expected=">= 2 quarantined records, each with a reason",
+                detail="torn/corrupt records recovered via quarantine "
+                "+ re-commit",
+            )
+        )
         return report

@@ -22,6 +22,7 @@ def make_plan(
     config_hash: str = "feedfacefeedfacefeedface",
     name: str = "",
     priority: int = 0,
+    max_workers=None,
 ) -> CampaignPlan:
     prefix = config_hash[:12]
     units = tuple(
@@ -34,7 +35,11 @@ def make_plan(
         for i in range(n)
     )
     return CampaignPlan(
-        config_hash=config_hash, units=units, name=name, priority=priority
+        config_hash=config_hash,
+        units=units,
+        name=name,
+        priority=priority,
+        max_workers=max_workers,
     )
 
 

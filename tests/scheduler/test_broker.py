@@ -282,3 +282,48 @@ class TestStatus:
         assert entry["submission_id"] == sub.submission_id
         assert entry["name"] == "night"
         assert entry["units"] == {"pending": 1, "leased": 1}
+
+
+class TestWorkerQuotas:
+    def test_quota_caps_inflight_per_submission(self, clock):
+        broker = Broker(clock=clock)
+        broker.submit(make_plan(4, max_workers=2))
+        leases = lease_all(broker)
+        assert len(leases) == 2
+        # The quota is on *inflight* units, not total leases ever:
+        # settling one frees a slot.
+        assert broker.complete(leases[0], leases[0].seq)
+        assert len(lease_all(broker)) == 1
+
+    def test_deferred_units_stay_queued_and_are_counted(self, clock):
+        telemetry = Telemetry()
+        broker = Broker(clock=clock, telemetry=telemetry)
+        broker.submit(make_plan(3, max_workers=1))
+        assert len(lease_all(broker)) == 1
+        assert broker.pending_count() == 2
+        counters = telemetry.metrics.counter_values()
+        assert counters["scheduler.quota_deferred"] == 2
+
+    def test_quota_never_starves_other_submissions(self, clock):
+        broker = Broker(clock=clock)
+        broker.submit(make_plan(3, max_workers=1, priority=9))
+        broker.submit(
+            make_plan(2, config_hash="beefbeefbeefbeefbeefbeef")
+        )
+        leases = lease_all(broker)
+        # One slot from the throttled high-priority submission, then
+        # the unthrottled one drains fully.
+        by_sub = {}
+        for lease in leases:
+            by_sub[lease.submission_id] = by_sub.get(lease.submission_id, 0) + 1
+        assert by_sub == {"sub-feedfacefeed": 1, "sub-beefbeefbeef": 2}
+
+    def test_expiry_returns_the_slot(self, clock):
+        broker = Broker(clock=clock, lease_ttl_s=30.0)
+        broker.submit(make_plan(2, max_workers=1))
+        assert len(lease_all(broker)) == 1
+        clock.advance(31.0)
+        again = lease_all(broker)
+        # The expired unit re-queued; the quota still admits only one.
+        assert len(again) == 1
+        assert broker.pending_count() == 1

@@ -27,6 +27,10 @@ class TestValidation:
             {"flux_per_cm2_s": -5.0},
             {"priority": 1.5},
             {"priority": False},
+            {"max_workers": 0},
+            {"max_workers": -2},
+            {"max_workers": True},
+            {"max_workers": 1.5},
         ],
     )
     def test_bad_fields_refused(self, kwargs):
@@ -40,7 +44,8 @@ class TestValidation:
 class TestJsonRoundTrip:
     def test_round_trip_preserves_identity(self):
         spec = CampaignSpec(
-            seed=7, time_scale=0.05, priority=3, name="night shift"
+            seed=7, time_scale=0.05, priority=3, name="night shift",
+            max_workers=2,
         )
         again = CampaignSpec.from_json(spec.to_json())
         assert again == spec
@@ -62,9 +67,13 @@ class TestJsonRoundTrip:
         data = CampaignSpec().to_dict()
         assert "flux_per_cm2_s" not in data
         assert "name" not in data
-        full = CampaignSpec(flux_per_cm2_s=1e5, name="x").to_dict()
+        assert "max_workers" not in data
+        full = CampaignSpec(
+            flux_per_cm2_s=1e5, name="x", max_workers=3
+        ).to_dict()
         assert full["flux_per_cm2_s"] == 1e5
         assert full["name"] == "x"
+        assert full["max_workers"] == 3
 
     def test_to_json_is_stable(self):
         spec = CampaignSpec(seed=1, time_scale=0.5)
@@ -80,10 +89,12 @@ class TestHashIdentity:
         campaign = Campaign(seed=11, time_scale=0.02)
         assert spec.config_hash() == campaign.config_hash()
 
-    def test_priority_and_name_do_not_change_the_hash(self):
+    def test_scheduling_knobs_do_not_change_the_hash(self):
+        # priority, name, and the worker quota decide when/where a
+        # campaign runs, never what it computes.
         base = CampaignSpec(seed=3, time_scale=0.1)
         decorated = CampaignSpec(
-            seed=3, time_scale=0.1, priority=9, name="hot"
+            seed=3, time_scale=0.1, priority=9, name="hot", max_workers=1
         )
         assert base.config_hash() == decorated.config_hash()
         assert base.submission_id == decorated.submission_id

@@ -5,7 +5,6 @@ import os
 
 import pytest
 
-from repro.errors import ReproIOError
 from repro.scheduler import DirectoryStore
 
 from .conftest import FakeClock
@@ -36,12 +35,24 @@ class TestCommits:
         commits = os.listdir(tmp_path / "sched" / "commits")
         assert commits == ["h__u1.json"]
 
-    def test_corrupt_commit_raises(self, store, tmp_path):
+    def test_corrupt_commit_is_quarantined(self, store, tmp_path):
         store.try_commit("h/u1", {"n": 1})
         path = tmp_path / "sched" / "commits" / "h__u1.json"
         path.write_text("{torn")
-        with pytest.raises(ReproIOError):
-            store.read_commit("h/u1")
+        # A record that fails verification is not adopted: it moves to
+        # quarantine/ with a reason file, and the unit reads as absent
+        # (the caller re-plans it).
+        assert store.read_commit("h/u1") is None
+        assert not path.exists()
+        qdir = tmp_path / "sched" / "quarantine"
+        assert (qdir / "h__u1.json").read_text() == "{torn"
+        reason = json.loads((qdir / "h__u1.reason.json").read_text())
+        assert reason["unit_id"] == "h/u1"
+        assert reason["reason"] == "decode-error"
+        assert store.counters["quarantined"] == 1
+        # The commit name is free again: the re-planned unit commits.
+        assert store.try_commit("h/u1", {"n": 1}) is True
+        assert store.read_commit("h/u1") == {"n": 1}
 
     def test_two_stores_one_directory(self, tmp_path, clock):
         # The multi-process story in miniature: the second store sees

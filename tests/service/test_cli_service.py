@@ -111,15 +111,43 @@ class TestServeFlow:
         assert "broker broker-cli" in out
         assert SPEC.submission_id in out
         assert "complete" in out
+        assert "store: epochs [broker-cli=1]" in out
+        assert "0 quarantined" in out
 
     def test_status_json_output(self, root, capsys):
         assert main(["status", root, "--json"]) == 0
         status = json.loads(capsys.readouterr().out)
         assert status["broker"] == "broker-cli"
         assert status["assembled"] == [SPEC.submission_id]
+        assert status["epoch"] == 1
+        assert status["store"]["epochs"] == {"broker-cli": 1}
+        assert status["store"]["quarantined"] == 0
 
     def test_submit_wait_returns_immediately_when_done(self, root, capsys):
         # The campaign is already assembled: --wait must see the
         # existing campaign.json and report success without a timeout.
         assert main(["submit", root, *SPEC_ARGS, "--wait", "5"]) == 0
         assert "complete" in capsys.readouterr().out
+
+
+class TestStoreChaosFlag:
+    def test_bad_spec_fails_readably(self, tmp_path, capsys):
+        root = str(tmp_path / "root")
+        assert (
+            main(["serve", root, "--store-chaos", '{"torn": "nope"}'])
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_chaos_serve_still_assembles(self, tmp_path):
+        root = str(tmp_path / "root")
+        assert main(["submit", root, *SPEC_ARGS]) == 0
+        args = [
+            "serve", root,
+            "--poll", "0.05",
+            "--idle-exit", "0.2",
+            "--store-chaos", '{"transient_errno": [0], "torn_write": [1]}',
+        ]
+        assert main(args) == 0
+        outdir = results_dir(root, SPEC.submission_id)
+        assert os.path.exists(os.path.join(outdir, "campaign.json"))

@@ -262,3 +262,65 @@ class TestServeEndToEnd:
         before = os.path.getmtime(assembled)
         assert service.serve() == 0
         assert os.path.getmtime(assembled) == before
+
+
+class TestChaosServe:
+    """serve with --store-chaos: the headline robustness criterion."""
+
+    CHAOS = (
+        '{"torn_write": [0], "transient_errno": [1], "corrupt_commit": [3]}'
+    )
+
+    @pytest.fixture(scope="class")
+    def chaos_served(self, tmp_path_factory):
+        root = str(tmp_path_factory.mktemp("chaos-serve") / "root")
+        spec = CampaignSpec(seed=5, time_scale=TIME_SCALE)
+        service = make_service(
+            root, workers=2, idle_exit_s=0.3, store_chaos=self.CHAOS
+        )
+        drop_job(root, spec)
+        assert service.serve() == 0
+        return root, spec, service
+
+    def test_campaign_bytes_match_a_plain_run(
+        self, chaos_served, tmp_path
+    ):
+        root, spec, _ = chaos_served
+        plain = str(tmp_path / "plain")
+        args = [
+            "run", plain,
+            "--seed", str(spec.seed),
+            "--time-scale", str(spec.time_scale),
+        ]
+        assert main(args) == 0
+        with open(os.path.join(plain, "campaign.json"), "rb") as handle:
+            expected = handle.read()
+        assembled = os.path.join(
+            results_dir(root, spec.submission_id), "campaign.json"
+        )
+        with open(assembled, "rb") as handle:
+            assert handle.read() == expected
+
+    def test_corrupt_commits_were_quarantined_with_reasons(
+        self, chaos_served
+    ):
+        root, _, service = chaos_served
+        store = service.broker.store
+        assert store.injected["torn_write"] == 1
+        assert store.injected["corrupt_commit"] == 1
+        reasons = store.quarantined_units()
+        assert len(reasons) == 2
+        assert {r["reason"] for r in reasons} == {
+            "decode-error", "checksum-mismatch",
+        }
+
+    def test_status_snapshot_surfaces_store_health(self, chaos_served):
+        root, _, service = chaos_served
+        with open(status_path(root)) as handle:
+            status = json.load(handle)
+        assert status["epoch"] == 1
+        store = status["store"]
+        assert store["epochs"] == {"broker-test": 1}
+        assert store["quarantined"] == 2
+        assert store["retries"] >= 1
+        assert store["fenced"] == 0
