@@ -159,10 +159,42 @@ def measure_codecs() -> Dict[str, float]:
     return metrics
 
 
+def measure_tech() -> Dict[str, float]:
+    from repro.harness.campaign import Campaign
+    from repro.injection.calibration import LevelRateModel, OutcomeMixModel
+    from repro.tech import get_node, list_nodes
+
+    names = list_nodes()
+
+    def lookups():
+        for name in names:
+            get_node(name)
+
+    node = get_node("7nm")
+    default_s = _timed(lambda: Campaign(seed=11, time_scale=0.005).run())
+    node_s = _timed(
+        lambda: Campaign(seed=11, time_scale=0.005, tech_node="7nm").run()
+    )
+    return {
+        "nodes": float(len(names)),
+        "lookup_all_s": _timed(lookups),
+        "model_build_7nm_s": _timed(
+            lambda: (
+                LevelRateModel.for_node(node),
+                OutcomeMixModel.for_node(node),
+            )
+        ),
+        "campaign_default_s": default_s,
+        "campaign_7nm_s": node_s,
+        "campaign_overhead_x": node_s / default_s,
+    }
+
+
 SUITES: Dict[str, Callable[[], Dict[str, float]]] = {
     "engine": measure_engine,
     "scheduler": measure_scheduler,
     "codecs": measure_codecs,
+    "tech": measure_tech,
 }
 
 

@@ -1,0 +1,82 @@
+"""Bench: the technology-node axis must not tax the campaign path.
+
+The node machinery rides plan preparation (point scaling, unit kwargs)
+and model construction (``for_node``), so these benches hold two
+bounds: resolving a node is microseconds, and flying a non-default-node
+campaign costs at most a small multiple of the 28 nm flight it
+parameterizes.  Absolute numbers are tracked across PRs by
+``benchmarks/record.py`` into ``BENCH_tech.json``.
+"""
+
+import statistics
+import time
+
+from repro.harness.campaign import Campaign
+from repro.injection.calibration import LevelRateModel, OutcomeMixModel
+from repro.tech import get_node, list_nodes
+
+#: Ceiling per registry lookup; a dict hit plus alias resolution.
+MAX_LOOKUP_S = 1e-4
+
+#: Ceiling per for_node model build (non-default node; builds scaled
+#: anchor tables).
+MAX_MODEL_BUILD_S = 5e-3
+
+#: A 7 nm campaign flies the same four sessions as the 28 nm one (at a
+#: lower event rate); allow generous headroom for the extra model
+#: construction per unit, but not a different complexity class.
+MAX_NODE_CAMPAIGN_X = 3.0
+
+TIME_SCALE = 0.005
+
+
+def _median_s(fn, repeats=3):
+    fn()
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def test_bench_node_lookup(benchmark):
+    names = list_nodes()
+
+    def lookup():
+        for name in names:
+            get_node(name)
+        return len(names)
+
+    assert benchmark(lookup) == len(names)
+    per_call = benchmark.stats.stats.mean / len(names)
+    assert per_call < MAX_LOOKUP_S
+
+
+def test_bench_for_node_model_build(benchmark):
+    node = get_node("7nm")
+
+    def build():
+        return (
+            LevelRateModel.for_node(node),
+            OutcomeMixModel.for_node(node),
+        )
+
+    rates, mix = benchmark(build)
+    assert rates.pmd_nominal_mv == 675.0
+    assert benchmark.stats.stats.mean < MAX_MODEL_BUILD_S
+
+
+def test_bench_node_campaign_overhead(benchmark):
+    default_s = _median_s(
+        lambda: Campaign(seed=11, time_scale=TIME_SCALE).run()
+    )
+
+    def node_flight():
+        return Campaign(
+            seed=11, time_scale=TIME_SCALE, tech_node="7nm"
+        ).run()
+
+    result = benchmark(node_flight)
+    assert len(result.sessions) == 4
+    assert benchmark.stats.stats.mean < default_s * MAX_NODE_CAMPAIGN_X

@@ -173,6 +173,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         policy=policy,
         chaos=chaos,
+        tech_node=args.node,
     )
     results = ResultsDirectory(args.outdir)
     if args.resume and not results.has_journal():
@@ -205,7 +206,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"interrupted ({exc}); completed units are journaled under "
             f"{args.outdir} -- resume with:\n"
             f"  repro-campaign run {args.outdir} --resume "
-            f"--seed {args.seed} --time-scale {args.time_scale}",
+            f"--seed {args.seed} --time-scale {args.time_scale}"
+            + (f" --node {args.node}" if args.node else ""),
             file=sys.stderr,
         )
         return EXIT_INTERRUPTED
@@ -262,6 +264,8 @@ def _render_command(args: argparse.Namespace) -> str:
         f"repro-campaign run {args.outdir} --seed {args.seed} "
         f"--time-scale {args.time_scale} --workers {args.workers}"
     )
+    if args.node:
+        command += f" --node {args.node}"
     if args.telemetry:
         command += " --telemetry"
     if args.resume:
@@ -485,13 +489,17 @@ def _sweep_spec_from_args(args: argparse.Namespace):
         kwargs["strikes"] = args.strikes
     if args.interleave is not None:
         kwargs["interleave"] = args.interleave
+    if args.node:
+        kwargs["nodes"] = tuple(
+            token.strip() for token in args.node.split(",") if token.strip()
+        )
     return SweepSpec(seed=args.seed, name=args.name or "", **kwargs)
 
 
 def _explore_flags(args: argparse.Namespace) -> str:
     """The explore flags to repeat in a resume hint."""
     flags = ""
-    for name in ("codecs", "points", "workloads", "name"):
+    for name in ("codecs", "points", "workloads", "node", "name"):
         value = getattr(args, name)
         if value:
             flags += f" --{name} {value}"
@@ -565,6 +573,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     from .engine.executor import resolve_executor
     from .engine.pool import WarmupSpec
     from .scheduler import Broker, DirectoryStore
+    from .tech import DEFAULT_NODE
 
     spec = _sweep_spec_from_args(args)
     scheduler_dir = os.path.join(args.outdir, "scheduler")
@@ -609,9 +618,14 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     executor = resolve_executor(
         args.workers, warmup=WarmupSpec(codecs=tuple(spec.codecs))
     )
+    axes = (
+        f"{len(spec.codecs)} codec(s) x {len(spec.points)} point(s) x "
+        f"{len(spec.workloads)} workload(s)"
+    )
+    if spec.nodes != (DEFAULT_NODE,):
+        axes += f" x {len(spec.nodes)} node(s)"
     print(
-        f"exploring {total} cell(s): {len(spec.codecs)} codec(s) x "
-        f"{len(spec.points)} point(s) x {len(spec.workloads)} workload(s), "
+        f"exploring {total} cell(s): {axes}, "
         f"{spec.strikes} strikes/cell, executor={executor.name}, "
         f"submission {sid}"
     )
@@ -682,6 +696,7 @@ def _spec_from_args(args: argparse.Namespace):
         vectorized=not args.no_vectorized,
         priority=args.priority,
         max_workers=args.max_workers,
+        tech_node=args.tech_node,
         name=args.name or "",
     )
 
@@ -910,6 +925,54 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_quarantine(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .scheduler import DirectoryStore
+    from .service import scheduler_dir
+
+    state = scheduler_dir(args.root)
+    if not os.path.isdir(state):
+        print(
+            f"error: no scheduler state under {args.root!r} "
+            f"(expected {state}; point me at a serve root or an "
+            f"explore outdir)",
+            file=sys.stderr,
+        )
+        return 1
+    store = DirectoryStore(state)
+    if args.requeue:
+        records = store.requeue_quarantined()
+        verb = "requeued"
+    else:
+        records = store.quarantined_units()
+        verb = "quarantined"
+    if args.json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"0 unit(s) {verb}")
+        return 0
+    table = Table(
+        title=f"{len(records)} unit(s) {verb}",
+        header=["Unit", "Reason", "Detail"],
+    )
+    for record in records:
+        table.add_row(
+            record.get("unit_id"),
+            record.get("reason"),
+            record.get("detail"),
+        )
+    print(table.render())
+    if args.requeue:
+        print(
+            "requeued units will replan and recommit on the next "
+            "run/serve/explore over this root"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-campaign`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -922,6 +985,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("outdir")
     run.add_argument("--seed", type=int, default=2023)
     run.add_argument("--time-scale", type=float, default=0.2)
+    run.add_argument(
+        "--node",
+        default=None,
+        metavar="NODE",
+        help="registered technology node to fly on (scales the Table 2 "
+        "operating points onto the node's grid; default: the 28 nm "
+        "X-Gene 2)",
+    )
     run.add_argument(
         "--workers",
         type=int,
@@ -1067,6 +1138,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="physical bit interleaving degree: an MBU cluster of size "
         "s lands as ceil(s/N) adjacent flips per word (default: 1)",
+    )
+    explore.add_argument(
+        "--node",
+        default=None,
+        metavar="LIST",
+        help="comma-separated registered technology-node names to sweep "
+        "(e.g. xgene2-28,7nm); --points are 28 nm reference voltages, "
+        "scaled onto each node's grid (default: xgene2-28 only)",
     )
     explore.add_argument("--name", default=None, help="display name")
     explore.add_argument(
@@ -1214,6 +1293,14 @@ def build_parser() -> argparse.ArgumentParser:
         "once, so one huge sweep cannot starve the queue (default: "
         "no cap)",
     )
+    submit.add_argument(
+        "--tech-node",
+        default=None,
+        metavar="NODE",
+        help="registered technology node to fly the campaign on "
+        "(part of the physics, so it folds into the submission id; "
+        "default: the 28 nm X-Gene 2)",
+    )
     submit.add_argument("--name", default=None, help="display name")
     submit.add_argument(
         "--no-vectorized",
@@ -1260,6 +1347,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="cancel over HTTP instead of the job directory",
     )
     cancel.set_defaults(func=_cmd_cancel)
+
+    quarantine = sub.add_parser(
+        "quarantine",
+        help="list (or requeue) a root's quarantined work units",
+    )
+    quarantine.add_argument(
+        "root", help="a serve root or explore outdir holding scheduler state"
+    )
+    quarantine.add_argument(
+        "--requeue",
+        action="store_true",
+        help="clear the quarantine records so the units replan and "
+        "recommit on the next run over this root",
+    )
+    quarantine.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw reason records",
+    )
+    quarantine.set_defaults(func=_cmd_quarantine)
     return parser
 
 

@@ -48,6 +48,7 @@ from ..rng import RngStreams
 from ..scheduler.planner import CampaignPlan, PlannedUnit
 from ..soc.geometry import CacheLevel
 from ..sram.mbu import MbuModel
+from ..tech import DEFAULT_NODE, get_node
 from ..validate.gates import GateResult, poisson_pair_gate
 from ..workloads.profiles import PROFILES
 from .registry import get_codec, list_codecs
@@ -91,6 +92,7 @@ class SweepSpec:
     strikes: int = 2000
     seed: int = 2023
     interleave: int = 1
+    nodes: Tuple[str, ...] = (DEFAULT_NODE,)
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -99,6 +101,15 @@ class SweepSpec:
             self, "points", tuple((int(p), int(s)) for p, s in self.points)
         )
         object.__setattr__(self, "workloads", tuple(self.workloads))
+        if not self.nodes:
+            raise CodecError("sweep needs at least one technology node")
+        # Canonicalize through the registry ("28nm" -> "xgene2-28") so
+        # aliases hash the same and unknown names fail at spec time.
+        object.__setattr__(
+            self, "nodes", tuple(get_node(n).name for n in self.nodes)
+        )
+        if len(set(self.nodes)) != len(self.nodes):
+            raise CodecError("duplicate node in sweep spec")
         if not self.codecs:
             raise CodecError("sweep needs at least one codec")
         known = set(list_codecs())
@@ -134,16 +145,21 @@ class SweepSpec:
 
     @property
     def config_hash(self) -> str:
+        data = {
+            "kind": "codec-sweep",
+            "codecs": list(self.codecs),
+            "points": [list(p) for p in self.points],
+            "workloads": list(self.workloads),
+            "strikes": self.strikes,
+            "seed": self.seed,
+            "interleave": self.interleave,
+        }
+        # The node axis folds in only when non-default, so every
+        # pre-existing sweep keeps its submission id and unit ids.
+        if self.nodes != (DEFAULT_NODE,):
+            data["nodes"] = list(self.nodes)
         canonical = json.dumps(
-            {
-                "kind": "codec-sweep",
-                "codecs": list(self.codecs),
-                "points": [list(p) for p in self.points],
-                "workloads": list(self.workloads),
-                "strikes": self.strikes,
-                "seed": self.seed,
-                "interleave": self.interleave,
-            },
+            data,
             sort_keys=True,
             separators=(",", ":"),
         )
@@ -154,7 +170,7 @@ class SweepSpec:
         return f"sub-{self.config_hash[:12]}"
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "codecs": list(self.codecs),
             "points": [list(p) for p in self.points],
             "workloads": list(self.workloads),
@@ -163,6 +179,9 @@ class SweepSpec:
             "interleave": self.interleave,
             "name": self.name,
         }
+        if self.nodes != (DEFAULT_NODE,):
+            data["nodes"] = list(self.nodes)
+        return data
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SweepSpec":
@@ -173,6 +192,7 @@ class SweepSpec:
             "strikes",
             "seed",
             "interleave",
+            "nodes",
             "name",
         }
         unknown = set(payload) - known
@@ -183,12 +203,14 @@ class SweepSpec:
         kwargs = dict(payload)
         if "points" in kwargs:
             kwargs["points"] = tuple(tuple(p) for p in kwargs["points"])
+        if "nodes" in kwargs:
+            kwargs["nodes"] = tuple(kwargs["nodes"])
         return cls(**kwargs)
 
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One schedulable (codec, point, workload) cell -- picklable."""
+    """One schedulable (codec, node, point, workload) cell -- picklable."""
 
     label: str
     codec: str
@@ -198,26 +220,53 @@ class SweepCell:
     strikes: int
     seed: int
     interleave: int
+    node: str = DEFAULT_NODE
 
 
 def sweep_cells(spec: SweepSpec) -> List[SweepCell]:
-    """Expand a spec into ordered cells (codec-major, plan order)."""
+    """Expand a spec into ordered cells (codec-major, plan order).
+
+    The spec's points are 28 nm reference voltages; non-default nodes
+    scale them onto their own regulator grid, and their cell labels
+    carry the node name.  Default-node cells keep the historical label
+    format and voltages exactly, so pre-existing sweeps re-plan to the
+    same unit ids.
+    """
     cells = []
     for codec in spec.codecs:
-        for pmd_mv, soc_mv in spec.points:
-            for workload in spec.workloads:
-                cells.append(
-                    SweepCell(
-                        label=f"{codec}-{pmd_mv}-{soc_mv}-{workload}",
-                        codec=codec,
-                        pmd_mv=pmd_mv,
-                        soc_mv=soc_mv,
-                        workload=workload,
-                        strikes=spec.strikes,
-                        seed=spec.seed,
-                        interleave=spec.interleave,
+        for node_name in spec.nodes:
+            node = get_node(node_name)
+            for ref_pmd, ref_soc in spec.points:
+                if node.is_default:
+                    pmd_mv, soc_mv = ref_pmd, ref_soc
+                    label_prefix = codec
+                else:
+                    pmd_mv = node.scale_pmd_mv(ref_pmd)
+                    soc_mv = node.scale_soc_mv(ref_soc)
+                    label_prefix = f"{codec}-{node_name}"
+                for workload in spec.workloads:
+                    cells.append(
+                        SweepCell(
+                            label=(
+                                f"{label_prefix}-{pmd_mv}-{soc_mv}-"
+                                f"{workload}"
+                            ),
+                            codec=codec,
+                            pmd_mv=pmd_mv,
+                            soc_mv=soc_mv,
+                            workload=workload,
+                            strikes=spec.strikes,
+                            seed=spec.seed,
+                            interleave=spec.interleave,
+                            node=node_name,
+                        )
                     )
-                )
+    labels = [cell.label for cell in cells]
+    if len(set(labels)) != len(labels):
+        raise CodecError(
+            "node scaling collapsed distinct sweep points onto the same "
+            "cell label; spread the reference points further apart"
+        )
     return cells
 
 
@@ -251,7 +300,7 @@ def run_cell(cell: SweepCell) -> dict:
     vec = bundle.vectorized
     codec = bundle.codec
     rng = RngStreams(cell.seed).child("explorer", cell=cell.label)
-    rates = LevelRateModel()
+    rates = LevelRateModel.for_node(get_node(cell.node))
     undervolt = rates.undervolt_fraction(
         CacheLevel.L3, float(cell.pmd_mv), float(cell.soc_mv)
     )
@@ -298,6 +347,8 @@ def run_cell(cell: SweepCell) -> dict:
         "interleave": cell.interleave,
         "events": events,
     }
+    if cell.node != DEFAULT_NODE:
+        payload["node"] = cell.node
     payload.update(_split(counts))
     payload["halves"] = {"first": _split(first), "second": _split(second)}
     return payload
@@ -339,7 +390,9 @@ def _interval_dict(interval) -> dict:
 
 def _cell_fit(payload: dict) -> Tuple[dict, List[GateResult]]:
     """FIT estimates (Garwood/Wilson) + split-half gates for one cell."""
-    rates = LevelRateModel()
+    rates = LevelRateModel.for_node(
+        get_node(payload.get("node", DEFAULT_NODE))
+    )
     pmd_mv = float(payload["pmd_mv"])
     soc_mv = float(payload["soc_mv"])
     profile = PROFILES[payload["workload"]]
@@ -410,37 +463,41 @@ def assemble_pareto(spec: SweepSpec, payloads: Sequence[dict]) -> dict:
         cell["cost"] = costs[cell["codec"]]
         cells.append(cell)
         gates.extend(cell_gates)
-    # Pareto extraction per (point, workload) slice, over codecs.
+    # Pareto extraction per (node, point, workload) slice, over codecs.
+    slices: Dict[Tuple[str, int, int, str], List[dict]] = {}
+    for c in cells:
+        key = (
+            c.get("node", DEFAULT_NODE),
+            c["pmd_mv"],
+            c["soc_mv"],
+            c["workload"],
+        )
+        slices.setdefault(key, []).append(c)
     front_labels = set()
-    for pmd_mv, soc_mv in spec.points:
-        for workload in spec.workloads:
-            slice_cells = [
-                c
-                for c in cells
-                if c["pmd_mv"] == pmd_mv
-                and c["soc_mv"] == soc_mv
-                and c["workload"] == workload
-            ]
-            objectives = {
-                c["label"]: (
-                    c["fit_total"]["value"],
-                    float(c["cost"]["area_gates"]),
-                    float(c["cost"]["energy_pj"]),
-                )
-                for c in slice_cells
-            }
-            for c in slice_cells:
-                mine = objectives[c["label"]]
-                if not any(
-                    _dominates(objectives[other["label"]], mine)
-                    for other in slice_cells
-                    if other is not c
-                ):
-                    front_labels.add(c["label"])
+    for slice_cells in slices.values():
+        objectives = {
+            c["label"]: (
+                c["fit_total"]["value"],
+                float(c["cost"]["area_gates"]),
+                float(c["cost"]["energy_pj"]),
+            )
+            for c in slice_cells
+        }
+        for c in slice_cells:
+            mine = objectives[c["label"]]
+            if not any(
+                _dominates(objectives[other["label"]], mine)
+                for other in slice_cells
+                if other is not c
+            ):
+                front_labels.add(c["label"])
     for c in cells:
         c["on_front"] = c["label"] in front_labels
-    front = [
-        {
+    front = []
+    for c in cells:
+        if not c["on_front"]:
+            continue
+        entry = {
             "label": c["label"],
             "codec": c["codec"],
             "pmd_mv": c["pmd_mv"],
@@ -450,9 +507,9 @@ def assemble_pareto(spec: SweepSpec, payloads: Sequence[dict]) -> dict:
             "area_gates": c["cost"]["area_gates"],
             "energy_pj": c["cost"]["energy_pj"],
         }
-        for c in cells
-        if c["on_front"]
-    ]
+        if "node" in c:
+            entry["node"] = c["node"]
+        front.append(entry)
     return {
         "schema": 1,
         "spec": spec.to_dict(),

@@ -28,6 +28,12 @@ class GeometryError(ConfigurationError):
     """An SRAM array or cache was declared with an impossible geometry."""
 
 
+class TechError(ConfigurationError):
+    """The technology-node registry or model was misused (unknown node
+    name, duplicate registration, physically inconsistent parameters,
+    or an evaluation outside the model's valid voltage range)."""
+
+
 class ProtectionError(ReproError):
     """An ECC/parity codec was used with mismatched word sizes."""
 

@@ -63,6 +63,7 @@ def _fly_session(
     seed: int,
     vectorized: bool = True,
     with_metrics: bool = False,
+    tech_node: Optional[str] = None,
 ) -> Tuple[SessionResult, int, Optional[dict]]:
     """Fly one session on a fresh chip (module-level: must pickle).
 
@@ -71,17 +72,38 @@ def _fly_session(
     arguments -- the foundation of the serial/parallel determinism
     guarantee.
 
+    A non-default *tech_node* name builds the chip and the calibrated
+    rate/outcome models for that node (the plan's operating point has
+    already been scaled by the campaign); the default node takes the
+    original code path bit-for-bit.
+
     When *with_metrics* is set, the session counts into a private
     registry whose snapshot rides home with the result; the parent
     merges snapshots in submission order, so the merged counts are
     identical no matter which process (or how many) flew the sessions.
     """
     metrics = MetricsRegistry() if with_metrics else None
-    chip = XGene2()
-    session = BeamSession(
-        plan, RngStreams(seed), chip=chip, vectorized=vectorized,
-        metrics=metrics,
-    )
+    if tech_node:
+        from ..injection.calibration import LevelRateModel, OutcomeMixModel
+        from ..tech import get_node
+
+        node = get_node(tech_node)
+        chip = XGene2(tech_node=node)
+        session = BeamSession(
+            plan,
+            RngStreams(seed),
+            chip=chip,
+            rate_model=LevelRateModel.for_node(node),
+            outcome_mix=OutcomeMixModel.for_node(node),
+            vectorized=vectorized,
+            metrics=metrics,
+        )
+    else:
+        chip = XGene2()
+        session = BeamSession(
+            plan, RngStreams(seed), chip=chip, vectorized=vectorized,
+            metrics=metrics,
+        )
     result = session.run()
     snapshot = metrics.to_dict() if metrics is not None else None
     return result, chip.sram_data_bits, snapshot
@@ -112,6 +134,12 @@ class Campaign:
     vectorized:
         Select the injector realization path (see
         :class:`~repro.injection.injector.BeamInjector`).
+    tech_node:
+        Optional registered technology-node name.  A non-default node
+        scales every plan's operating point onto the node's grid and
+        flies sessions on the node's chip/rate models; the default
+        ``"xgene2-28"`` (or ``None``) collapses to the plain 28 nm
+        code path and leaves the config hash untouched.
     """
 
     def __init__(
@@ -122,10 +150,23 @@ class Campaign:
         executor: Optional[Executor] = None,
         context: Optional[ExecutionContext] = None,
         vectorized: bool = True,
+        tech_node: Optional[str] = None,
     ) -> None:
         if context is None:
             context = ExecutionContext(seed=seed, time_scale=time_scale)
         self.context = context
+        node = None
+        if tech_node:
+            from ..tech import get_node
+
+            node = get_node(tech_node)
+            if node.is_default:
+                # The 28 nm anchor *is* the plain chip: collapse so the
+                # hash, the unit payloads and the flown bytes all match
+                # a default-node campaign exactly (the tech_anchor
+                # differential pairing pins this).
+                node = None
+        self.tech_node = node.name if node is not None else None
         base_plans = plans if plans is not None else TABLE2_SESSION_PLANS
         if context.time_scale != 1.0:
             base_plans = [
@@ -134,6 +175,11 @@ class Campaign:
         if context.flux_per_cm2_s is not None:
             base_plans = [
                 replace(p, flux_per_cm2_s=context.flux_per_cm2_s)
+                for p in base_plans
+            ]
+        if node is not None:
+            base_plans = [
+                replace(p, point=node.scaled_point(p.point))
                 for p in base_plans
             ]
         self.plans = base_plans
@@ -148,15 +194,19 @@ class Campaign:
         Recorded in the run manifest so a results directory can always
         be traced back to the exact configuration that produced it.
         """
-        return stable_config_hash(
-            {
-                "seed": self.context.seed,
-                "time_scale": self.context.time_scale,
-                "flux_per_cm2_s": self.context.flux_per_cm2_s,
-                "vectorized": self.vectorized,
-                "plans": [asdict(plan) for plan in self.plans],
-            }
-        )
+        data = {
+            "seed": self.context.seed,
+            "time_scale": self.context.time_scale,
+            "flux_per_cm2_s": self.context.flux_per_cm2_s,
+            "vectorized": self.vectorized,
+            "plans": [asdict(plan) for plan in self.plans],
+        }
+        # The node folds in only when non-default, so every pre-existing
+        # campaign hash (and the checkpoint journals pinned on them)
+        # stays byte-identical.
+        if self.tech_node is not None:
+            data["tech_node"] = self.tech_node
+        return stable_config_hash(data)
 
     def plan_campaign(self, with_metrics: Optional[bool] = None):
         """Plan this campaign for the broker: ordered, stable-id units.
@@ -179,6 +229,7 @@ class Campaign:
                 config_hash=config_hash,
                 vectorized=self.vectorized,
                 with_metrics=with_metrics,
+                tech_node=self.tech_node,
             ),
             seed=self.context.seed,
             time_scale=self.context.time_scale,

@@ -66,9 +66,6 @@ LEVEL_DOMAIN: Dict[CacheLevel, str] = {
     CacheLevel.L3: "soc",
 }
 
-_DOMAIN_NOMINAL_MV = {"pmd": float(PMD_NOMINAL_MV), "soc": float(SOC_NOMINAL_MV)}
-
-
 @dataclass(frozen=True)
 class LevelRateModel:
     """Expected detected-upset rates per cache level and severity.
@@ -84,11 +81,42 @@ class LevelRateModel:
         default_factory=lambda: dict(LEVEL_VOLTAGE_SLOPES)
     )
     reference_flux: float = TNF_HALO_FLUX_PER_CM2_S
+    pmd_nominal_mv: float = float(PMD_NOMINAL_MV)
+    soc_nominal_mv: float = float(SOC_NOMINAL_MV)
+
+    @classmethod
+    def for_node(cls, node) -> "LevelRateModel":
+        """The rate model at a technology node.
+
+        Base rates scale with the node's per-bit cross-section (times
+        the core count for the replicated PMD-side structures), voltage
+        slopes with its sensitivity factor, and undervolt fractions are
+        taken against the node's own domain nominals.  The default
+        28 nm anchor returns the paper-calibrated model unchanged.
+        """
+        if node is None or getattr(node, "is_default", False):
+            return cls()
+        base_rates = {
+            (level, corrected): rate * node.rate_scale(LEVEL_DOMAIN[level])
+            for (level, corrected), rate in LEVEL_BASE_RATES_980MV.items()
+        }
+        slopes = {
+            level: slope * node.slope_scale
+            for level, slope in LEVEL_VOLTAGE_SLOPES.items()
+        }
+        return cls(
+            base_rates=base_rates,
+            slopes=slopes,
+            pmd_nominal_mv=float(node.pmd_nominal_mv),
+            soc_nominal_mv=float(node.soc_nominal_mv),
+        )
 
     def undervolt_fraction(self, level: CacheLevel, pmd_mv: float, soc_mv: float) -> float:
         """Relative undervolt of the domain feeding *level*."""
         domain = LEVEL_DOMAIN[level]
-        nominal = _DOMAIN_NOMINAL_MV[domain]
+        nominal = (
+            self.pmd_nominal_mv if domain == "pmd" else self.soc_nominal_mv
+        )
         voltage = pmd_mv if domain == "pmd" else soc_mv
         if voltage <= 0:
             raise ConfigurationError("voltages must be positive")
@@ -183,6 +211,38 @@ class OutcomeMixModel:
     notification: Dict[Tuple[int, int], float] = field(
         default_factory=lambda: dict(SDC_NOTIFICATION_PROBABILITY)
     )
+
+    @classmethod
+    def for_node(cls, node) -> "OutcomeMixModel":
+        """The outcome-mix model at a technology node.
+
+        The measured (frequency, PMD voltage) anchor keys are mapped
+        through the node's operating-point scaling so interpolation
+        happens in the node's own voltage range, and the category
+        rates scale with the node's chip-level upset rate (the failures
+        are downstream of the upsets).  Notification probabilities are
+        conditional and carry over unscaled.  The default 28 nm anchor
+        returns the paper-calibrated model unchanged.
+        """
+        if node is None or getattr(node, "is_default", False):
+            return cls()
+        rate_scale = node.rate_scale("pmd")
+        anchors = {
+            (node.scale_freq_mhz(freq), node.scale_pmd_mv(pmd)): {
+                cat: rate * rate_scale for cat, rate in rates.items()
+            }
+            for (freq, pmd), rates in OUTCOME_RATE_ANCHORS.items()
+        }
+        notification = {
+            (node.scale_freq_mhz(freq), node.scale_pmd_mv(pmd)): prob
+            for (freq, pmd), prob in SDC_NOTIFICATION_PROBABILITY.items()
+        }
+        if len(anchors) != len(OUTCOME_RATE_ANCHORS):
+            raise ConfigurationError(
+                f"node {node.name!r} collapses outcome anchors onto the "
+                "same scaled operating point"
+            )
+        return cls(anchors=anchors, notification=notification)
 
     def _anchors_for_freq(self, freq_mhz: int) -> Dict[int, Dict[str, float]]:
         freqs = sorted({f for (f, _v) in self.anchors})

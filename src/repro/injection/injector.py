@@ -42,11 +42,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..constants import (
-    PMD_NOMINAL_MV,
-    SOC_NOMINAL_MV,
-    TNF_HALO_FLUX_PER_CM2_S,
-)
+from ..constants import TNF_HALO_FLUX_PER_CM2_S
 from ..errors import InjectionError
 from ..soc.edac import EdacSeverity
 from ..soc.geometry import CacheLevel
@@ -56,7 +52,7 @@ from ..sram.mbu import MbuCluster, MbuModel
 from ..sram.protection import DecodeStatus
 from ..telemetry import MetricsRegistry
 from ..workloads.profiles import benchmark_rate_share
-from .calibration import LEVEL_DOMAIN, LevelRateModel
+from .calibration import LevelRateModel
 from .events import UpsetEvent
 
 #: The per-word fold of a single-cell cluster -- precomputed because
@@ -234,12 +230,14 @@ class BeamInjector:
             self._rate_cache[key] = rates
         return rates
 
-    @staticmethod
-    def _undervolt_fraction(level: CacheLevel, pmd_mv: float, soc_mv: float) -> float:
-        """Relative undervolt of the domain feeding *level*."""
-        if LEVEL_DOMAIN[level] == "pmd":
-            return (PMD_NOMINAL_MV - pmd_mv) / PMD_NOMINAL_MV
-        return (SOC_NOMINAL_MV - soc_mv) / SOC_NOMINAL_MV
+    def _undervolt_fraction(self, level: CacheLevel, pmd_mv: float, soc_mv: float) -> float:
+        """Relative undervolt of the domain feeding *level*.
+
+        Delegated to the rate model so the fraction is taken against
+        whatever domain nominals the model was built for (the paper's
+        980/950 mV by default, the node's own on scaled chips).
+        """
+        return self.rate_model.undervolt_fraction(level, pmd_mv, soc_mv)
 
     def expose(
         self,

@@ -137,7 +137,7 @@ class ResilientCampaign:
 
     Parameters
     ----------
-    plans / seed / time_scale / context / vectorized:
+    plans / seed / time_scale / context / vectorized / tech_node:
         Exactly as for :class:`~repro.harness.campaign.Campaign`.
     policy:
         Supervision knobs (timeouts/retries/backoff/degradation).
@@ -160,17 +160,20 @@ class ResilientCampaign:
         workers: int = 0,
         chaos: Optional[ChaosSpec] = None,
         fsync: str = "unit",
+        tech_node: Optional[str] = None,
     ) -> None:
         # Reuse Campaign's plan preparation (time scaling, flux
-        # override, context handling) so both runners fly literally the
-        # same plans from the same inputs.
+        # override, context handling, node scaling) so both runners fly
+        # literally the same plans from the same inputs.
         self._campaign = Campaign(
             plans=plans,
             seed=seed,
             time_scale=time_scale,
             context=context,
             vectorized=vectorized,
+            tech_node=tech_node,
         )
+        self.tech_node = self._campaign.tech_node
         self.context = self._campaign.context
         self.plans = self._campaign.plans
         self.vectorized = vectorized

@@ -207,8 +207,18 @@ class FaultyStore(DirectoryStore):
                 raise FileExistsError(
                     errno.EEXIST, "chaos: commit already present", dst
                 )
+            try:
+                record = json.loads(
+                    super()._read_bytes(src).decode("utf-8")
+                )
+            except ValueError:
+                # A torn write got to this record first: there is no
+                # valid ghost to fabricate, so the torn bytes are what
+                # survives on the medium -- plain link, and the
+                # verify-after-write readback quarantines them.
+                super()._link(src, dst)
+                return
             self.injected["duplicate_link"] += 1
-            record = json.loads(super()._read_bytes(src).decode("utf-8"))
             record["writer"] = f"ghost:{idx}"
             super()._write_bytes(dst, json.dumps(record).encode("utf-8"))
             return
@@ -217,8 +227,16 @@ class FaultyStore(DirectoryStore):
             # Bit rot after a successful commit: keep the record's
             # shape but clobber the checksum header, so the next read
             # quarantines it with a checksum-mismatch reason.
+            try:
+                record = json.loads(
+                    super()._read_bytes(dst).decode("utf-8")
+                )
+            except ValueError:
+                # Already unreadable (a torn write landed here); extra
+                # rot cannot make it worse, and readers quarantine it
+                # on decode rather than on checksum.
+                return
             self.injected["corrupt_commit"] += 1
-            record = json.loads(super()._read_bytes(dst).decode("utf-8"))
             record["sha256"] = "0" * 64
             super()._write_bytes(dst, json.dumps(record).encode("utf-8"))
 

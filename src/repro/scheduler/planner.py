@@ -84,16 +84,26 @@ def plan_units(
     config_hash: str,
     vectorized: bool = True,
     with_metrics: bool = False,
+    tech_node: Optional[str] = None,
 ) -> Tuple[PlannedUnit, ...]:
     """Expand prepared session plans into ordered planned units.
 
-    *session_plans* must already be time-scaled/flux-resolved (the
-    campaign's plan preparation owns that); this function only wraps
-    each one in a picklable work unit and stamps the stable id.
+    *session_plans* must already be time-scaled/flux-resolved/
+    node-scaled (the campaign's plan preparation owns that); this
+    function only wraps each one in a picklable work unit and stamps
+    the stable id.  *tech_node* rides along only when non-default, so
+    default-plan unit payloads pickle byte-identically to pre-scaling
+    plans.
     """
     from ..harness.campaign import _fly_session
 
     prefix = config_hash[:12]
+    kwargs = {
+        "vectorized": vectorized,
+        "with_metrics": with_metrics,
+    }
+    if tech_node:
+        kwargs["tech_node"] = tech_node
     return tuple(
         PlannedUnit(
             unit_id=f"{prefix}/{plan.label}",
@@ -103,10 +113,7 @@ def plan_units(
                 key=plan.label,
                 fn=_fly_session,
                 args=(plan, seed),
-                kwargs={
-                    "vectorized": vectorized,
-                    "with_metrics": with_metrics,
-                },
+                kwargs=dict(kwargs),
             ),
         )
         for seq, plan in enumerate(session_plans)
@@ -127,6 +134,7 @@ def plan_campaign(
             config_hash=config_hash,
             vectorized=spec.vectorized,
             with_metrics=with_metrics,
+            tech_node=campaign.tech_node,
         ),
         name=spec.name,
         priority=spec.priority,

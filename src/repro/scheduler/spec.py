@@ -39,6 +39,7 @@ _SPEC_KEYS = frozenset(
         "vectorized",
         "priority",
         "max_workers",
+        "tech_node",
     }
 )
 
@@ -62,6 +63,12 @@ class CampaignSpec:
         ``priority`` -- a quota cannot change the physics, so it never
         enters the config hash; one huge sweep throttled to 2 workers
         is the *same submission* as the unthrottled one.
+    tech_node:
+        Optional registered technology-node name.  Part of the physics
+        (it moves every operating point and rate model), so it folds
+        into the config hash -- but only when non-default: the 28 nm
+        anchor ``"xgene2-28"`` hashes identically to an unset node, so
+        pre-existing submissions and journals keep their identities.
     name:
         Display name for status output; defaults to the submission id.
     """
@@ -72,6 +79,7 @@ class CampaignSpec:
     vectorized: bool = True
     priority: int = 0
     max_workers: Optional[int] = None
+    tech_node: Optional[str] = None
     name: str = ""
     _config_hash: Optional[str] = field(
         default=None, repr=False, compare=False
@@ -105,6 +113,20 @@ class CampaignSpec:
                 f"spec max_workers must be a positive int or null, "
                 f"got {self.max_workers!r}"
             )
+        if self.tech_node is not None:
+            if not isinstance(self.tech_node, str) or not self.tech_node:
+                raise SchedulerError(
+                    f"spec tech_node must be a non-empty string or null, "
+                    f"got {self.tech_node!r}"
+                )
+            from ..errors import TechError
+            from ..tech import get_node
+
+            try:
+                canonical = get_node(self.tech_node).name
+            except TechError as exc:
+                raise SchedulerError(str(exc)) from exc
+            object.__setattr__(self, "tech_node", canonical)
         object.__setattr__(self, "time_scale", float(self.time_scale))
 
     # -- campaign construction ---------------------------------------------------
@@ -122,7 +144,10 @@ class CampaignSpec:
             logbook=logbook,
         )
         return Campaign(
-            context=context, executor=executor, vectorized=self.vectorized
+            context=context,
+            executor=executor,
+            vectorized=self.vectorized,
+            tech_node=self.tech_node,
         )
 
     def config_hash(self) -> str:
@@ -160,6 +185,8 @@ class CampaignSpec:
             data["flux_per_cm2_s"] = self.flux_per_cm2_s
         if self.max_workers is not None:
             data["max_workers"] = self.max_workers
+        if self.tech_node is not None:
+            data["tech_node"] = self.tech_node
         if self.name:
             data["name"] = self.name
         return data
@@ -188,6 +215,7 @@ class CampaignSpec:
                 vectorized=bool(data.get("vectorized", True)),
                 priority=data.get("priority", 0),
                 max_workers=data.get("max_workers"),
+                tech_node=data.get("tech_node"),
                 name=str(data.get("name", "")),
             )
         except TypeError as exc:

@@ -432,6 +432,32 @@ class DirectoryStore:
                 reasons.append(record)
         return reasons
 
+    def requeue_quarantined(self) -> List[dict]:
+        """Drop every quarantine record so the units replan cleanly.
+
+        The commit names were already freed at quarantine time, so
+        "requeue" only has to clear the evidence: the reason files and
+        the preserved corrupt records.  Returns the reason records that
+        were cleared (the operator's receipt of what got requeued).
+        Direct I/O like :meth:`quarantine_commit` -- the recovery path
+        is never a fault-injection target.
+        """
+        requeued = self.quarantined_units()
+        for record in requeued:
+            preserved = record.get("record")
+            if preserved:
+                try:
+                    os.remove(os.path.join(self._quarantine, preserved))
+                except FileNotFoundError:
+                    pass
+        for name in os.listdir(self._quarantine):
+            if name.endswith(".reason.json"):
+                try:
+                    os.remove(os.path.join(self._quarantine, name))
+                except FileNotFoundError:
+                    pass
+        return requeued
+
     # -- leases (advisory) -------------------------------------------------------
 
     def _lease_path(self, unit_id: str) -> str:

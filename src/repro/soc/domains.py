@@ -110,14 +110,24 @@ class VoltageDomain:
         )
 
 
-def make_pmd_domain() -> VoltageDomain:
-    """The Processor Module Domain at its 980 mV nominal."""
-    return VoltageDomain(DomainName.PMD, constants.PMD_NOMINAL_MV)
+def make_pmd_domain(
+    nominal_mv: int = None, floor_mv: int = 500
+) -> VoltageDomain:
+    """The Processor Module Domain (980 mV nominal on the measured part).
+
+    Technology-node chips pass their own nominal and regulator floor;
+    the default arguments reproduce the paper's regulator exactly.
+    """
+    nominal = constants.PMD_NOMINAL_MV if nominal_mv is None else nominal_mv
+    return VoltageDomain(DomainName.PMD, nominal, floor_mv=floor_mv)
 
 
-def make_soc_domain() -> VoltageDomain:
-    """The SoC domain at its 950 mV nominal."""
-    return VoltageDomain(DomainName.SOC, constants.SOC_NOMINAL_MV)
+def make_soc_domain(
+    nominal_mv: int = None, floor_mv: int = 500
+) -> VoltageDomain:
+    """The SoC domain (950 mV nominal on the measured part)."""
+    nominal = constants.SOC_NOMINAL_MV if nominal_mv is None else nominal_mv
+    return VoltageDomain(DomainName.SOC, nominal, floor_mv=floor_mv)
 
 
 def make_standby_domain(nominal_mv: int = 950) -> VoltageDomain:

@@ -68,11 +68,37 @@ class DvfsController:
     against the hardware's reachable grid.
     """
 
-    def __init__(self, pmd: VoltageDomain, soc: VoltageDomain) -> None:
+    def __init__(
+        self,
+        pmd: VoltageDomain,
+        soc: VoltageDomain,
+        freq_min_mhz: int = None,
+        freq_max_mhz: int = None,
+        freq_step_mhz: int = None,
+        num_pairs: int = None,
+    ) -> None:
         self._pmd = pmd
         self._soc = soc
+        self.freq_min_mhz = (
+            constants.FREQ_MIN_MHZ if freq_min_mhz is None else int(freq_min_mhz)
+        )
+        self.freq_max_mhz = (
+            constants.FREQ_MAX_MHZ if freq_max_mhz is None else int(freq_max_mhz)
+        )
+        self.freq_step_mhz = (
+            constants.FREQ_STEP_MHZ
+            if freq_step_mhz is None
+            else int(freq_step_mhz)
+        )
+        if not 0 < self.freq_min_mhz <= self.freq_max_mhz:
+            raise FrequencyError("frequency range must be positive and ordered")
+        if self.freq_step_mhz <= 0:
+            raise FrequencyError("frequency step must be positive")
+        pairs = constants.NUM_PAIRS if num_pairs is None else int(num_pairs)
+        if pairs < 1:
+            raise FrequencyError("need at least one core pair")
         self._pair_freq_mhz: Dict[int, int] = {
-            pair: constants.FREQ_MAX_MHZ for pair in range(constants.NUM_PAIRS)
+            pair: self.freq_max_mhz for pair in range(pairs)
         }
 
     # -- frequency --------------------------------------------------------------
@@ -104,16 +130,15 @@ class DvfsController:
             raise FrequencyError("pairs run at different frequencies")
         return next(iter(freqs))
 
-    @staticmethod
-    def _validate_frequency(mhz: int) -> None:
-        if not constants.FREQ_MIN_MHZ <= mhz <= constants.FREQ_MAX_MHZ:
+    def _validate_frequency(self, mhz: int) -> None:
+        if not self.freq_min_mhz <= mhz <= self.freq_max_mhz:
             raise FrequencyError(
-                f"{mhz} MHz outside [{constants.FREQ_MIN_MHZ}, "
-                f"{constants.FREQ_MAX_MHZ}] MHz"
+                f"{mhz} MHz outside [{self.freq_min_mhz}, "
+                f"{self.freq_max_mhz}] MHz"
             )
-        if mhz % constants.FREQ_STEP_MHZ:
+        if mhz % self.freq_step_mhz:
             raise FrequencyError(
-                f"{mhz} MHz not on the {constants.FREQ_STEP_MHZ} MHz grid"
+                f"{mhz} MHz not on the {self.freq_step_mhz} MHz grid"
             )
 
     # -- operating points ---------------------------------------------------------

@@ -105,14 +105,23 @@ L1_WORD_BITS = 32
 ECC_WORD_BITS = 64
 
 
-def xgene2_structures() -> List[StructureSpec]:
-    """The full SRAM structure inventory of the 8-core chip.
+def xgene2_structures(num_cores: int = None) -> List[StructureSpec]:
+    """The full SRAM structure inventory of the chip.
 
     Expands Table 1: per-core L1I/L1D/ITLB/DTLB/L2-TLB, per-pair unified
-    L2, and the shared L3 in the SoC domain.
+    L2, and the shared L3 in the SoC domain.  *num_cores* defaults to
+    the measured part's 8; technology-node variants (a 64-core part at
+    the same cache design) replicate the per-core/per-pair structures
+    accordingly.  Cores group into dual-core pairs, so the count must
+    be even.
     """
+    cores = constants.NUM_CORES if num_cores is None else int(num_cores)
+    if cores < 2 or cores % 2:
+        raise GeometryError(
+            f"core count must be even and >= 2, got {cores}"
+        )
     specs: List[StructureSpec] = []
-    for core in range(constants.NUM_CORES):
+    for core in range(cores):
         specs.append(
             StructureSpec(
                 name=f"core{core}.l1i",
@@ -168,7 +177,7 @@ def xgene2_structures() -> List[StructureSpec]:
                 interleave=1,
             )
         )
-    for pair in range(constants.NUM_PAIRS):
+    for pair in range(cores // 2):
         specs.append(
             StructureSpec(
                 name=f"pair{pair}.l2",

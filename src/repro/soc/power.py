@@ -26,7 +26,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..constants import PMD_NOMINAL_MV, SOC_NOMINAL_MV
+from ..constants import NUM_CORES, PMD_NOMINAL_MV, SOC_NOMINAL_MV
 from ..errors import ConfigurationError
 from ..units import mv_to_volts
 
@@ -122,6 +122,26 @@ class PowerModel:
         )
         a_pmd, a_soc, p_static = (float(c) for c in coeffs)
         return cls(a_pmd=a_pmd, a_soc=a_soc, p_static=p_static)
+
+    @classmethod
+    def for_node(cls, node) -> "PowerModel":
+        """The calibrated model scaled to a technology node.
+
+        The PMD dynamic coefficient scales with per-core switched
+        capacitance and the core count, the SoC coefficient with
+        capacitance alone (one shared L3), and the static residual with
+        the node's leakage factor.  The default 28 nm anchor returns
+        the paper fit unchanged.
+        """
+        base = cls.calibrated()
+        if node is None or getattr(node, "is_default", False):
+            return base
+        cores = node.num_cores / float(NUM_CORES)
+        return cls(
+            a_pmd=base.a_pmd * node.cap_scale * cores,
+            a_soc=base.a_soc * node.cap_scale,
+            p_static=base.p_static * node.leakage_scale,
+        )
 
     def residuals(self) -> Dict[Tuple[int, int, int], float]:
         """Model-minus-measurement error at each calibration point (W)."""

@@ -31,26 +31,65 @@ class XGene2:
     Parameters
     ----------
     power_model:
-        Power model; defaults to the paper-calibrated fit.
+        Power model; defaults to the paper-calibrated fit (scaled to
+        the technology node when one is given).
     structures:
         Structure inventory override (tests use reduced inventories);
         defaults to the full Table 1 expansion.
+    tech_node:
+        Optional :class:`~repro.tech.TechNode`-shaped object.  When
+        given (and not the default 28 nm anchor), the domains come up
+        at the node's nominals/floor and the DVFS controller validates
+        against the node's PLL grid.  The default node -- or ``None``
+        -- builds the paper's chip exactly.
     """
 
     def __init__(
         self,
         power_model: PowerModel = None,
         structures: List[StructureSpec] = None,
+        tech_node=None,
     ) -> None:
-        self.pmd = make_pmd_domain()
-        self.soc = make_soc_domain()
-        self.standby = make_standby_domain()
-        self.dvfs = DvfsController(self.pmd, self.soc)
+        node = tech_node
+        if node is not None and getattr(node, "is_default", False):
+            node = None
+        self.tech_node = node
+        if node is None:
+            self.pmd = make_pmd_domain()
+            self.soc = make_soc_domain()
+            self.standby = make_standby_domain()
+            self.dvfs = DvfsController(self.pmd, self.soc)
+        else:
+            self.pmd = make_pmd_domain(
+                node.pmd_nominal_mv, floor_mv=node.floor_mv
+            )
+            self.soc = make_soc_domain(
+                node.soc_nominal_mv, floor_mv=node.floor_mv
+            )
+            self.standby = make_standby_domain(node.soc_nominal_mv)
+            self.dvfs = DvfsController(
+                self.pmd,
+                self.soc,
+                freq_min_mhz=node.freq_step_mhz,
+                freq_max_mhz=node.nominal_freq_mhz,
+                freq_step_mhz=node.freq_step_mhz,
+                num_pairs=node.num_cores // 2,
+            )
         self.edac = EdacLog()
-        self.power_model = power_model or PowerModel.calibrated()
+        if power_model is not None:
+            self.power_model = power_model
+        elif node is not None:
+            self.power_model = PowerModel.for_node(node)
+        else:
+            self.power_model = PowerModel.calibrated()
         self.slimpro = SlimPro(self.dvfs, self.power_model, self.edac)
 
-        specs = structures if structures is not None else xgene2_structures()
+        if structures is not None:
+            specs = structures
+        elif node is not None:
+            specs = xgene2_structures(num_cores=node.num_cores)
+        else:
+            specs = xgene2_structures()
         self._specs: Dict[str, StructureSpec] = {}
         self._arrays: Dict[str, SramArray] = {}
         for spec in specs:
@@ -134,8 +173,13 @@ class XGene2:
 
     def __repr__(self) -> str:
         point = self.operating_point()
+        cores = (
+            self.tech_node.num_cores
+            if self.tech_node is not None
+            else constants.NUM_CORES
+        )
         return (
-            f"XGene2({constants.NUM_CORES} cores, "
+            f"XGene2({cores} cores, "
             f"{len(self._arrays)} SRAM arrays, "
             f"{self.sram_data_bits // (8 * 1024 * 1024)} MiB SRAM, {point})"
         )

@@ -86,6 +86,25 @@ class CrossSectionModel:
             voltage_slope=self.voltage_slope,
         )
 
+    @classmethod
+    def for_node(cls, node) -> "CrossSectionModel":
+        """The cross-section model at a technology node.
+
+        The nominal cross-section scales with the node's ``sigma0``
+        factor, the exponential sensitivity with its ``slope`` factor,
+        and undervolt fractions are taken against the node's own PMD
+        nominal.  The default 28 nm anchor returns the paper-calibrated
+        model unchanged.
+        """
+        if node is None or getattr(node, "is_default", False):
+            return cls()
+        base = cls()
+        return cls(
+            sigma0_cm2=base.sigma0_cm2 * node.sigma0_scale,
+            nominal_mv=float(node.pmd_nominal_mv),
+            voltage_slope=base.voltage_slope * node.slope_scale,
+        )
+
 
 def fit_voltage_slope(
     nominal_mv: float,

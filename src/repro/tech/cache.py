@@ -1,0 +1,89 @@
+"""Cache geometry / energy scaling hooks, cacti-p-informed.
+
+cacti-p models an SRAM's area, access energy and leakage from its
+technology node and organization; we do not re-derive device physics
+here, but the *shape* of its outputs is what these hooks reproduce: a
+per-node triple (area, dynamic read energy, leakage) obtained by
+scaling a 28 nm reference point with the node's multiplicative factors.
+
+The 28 nm reference values are representative of a dense 6T SRAM macro
+at that node (bitcell ~0.12 um^2 plus array overhead; read energy and
+leakage in the range cacti-p reports for 32/28 nm LP arrays).  They are
+deliberately round numbers with calibrated-expectation provenance --
+the paper measures upset rates, not joules -- and exist so cross-node
+sweeps can weigh reliability against an energy/area budget that moves
+with the node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..soc.geometry import StructureSpec, total_capacity_bits, xgene2_structures
+from .node import TechNode, _REF_PMD_NOMINAL_MV
+
+#: 28 nm reference SRAM figures (dense 6T macro, cacti-p-informed).
+REF_AREA_MM2_PER_MBIT = 0.20
+REF_READ_ENERGY_PJ_PER_BIT = 0.24
+REF_LEAKAGE_MW_PER_MBIT = 18.0
+
+_BITS_PER_MBIT = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class CacheScaling:
+    """Per-node SRAM macro figures, per Mbit of data capacity."""
+
+    area_mm2_per_mbit: float
+    read_energy_pj_per_bit: float
+    leakage_mw_per_mbit: float
+
+
+def cache_scaling(node: TechNode) -> CacheScaling:
+    """SRAM macro figures at *node*, scaled from the 28 nm reference.
+
+    Area scales with the cell footprint; dynamic read energy with
+    switched capacitance and the square of the supply (CV^2); leakage
+    with the node's leakage factor times its cell area (smaller cells
+    leak less per bit at equal technology).
+    """
+    v_ratio = node.pmd_nominal_mv / _REF_PMD_NOMINAL_MV
+    return CacheScaling(
+        area_mm2_per_mbit=REF_AREA_MM2_PER_MBIT * node.area_scale,
+        read_energy_pj_per_bit=(
+            REF_READ_ENERGY_PJ_PER_BIT * node.cap_scale * v_ratio * v_ratio
+        ),
+        leakage_mw_per_mbit=(
+            REF_LEAKAGE_MW_PER_MBIT * node.leakage_scale * node.area_scale
+        ),
+    )
+
+
+def node_structures(node: TechNode) -> List[StructureSpec]:
+    """The chip's SRAM structure inventory built at *node*.
+
+    The per-core/per-pair Table 1 structures replicate with the node's
+    core count; capacities per structure stay at their Table 1 values
+    (the scaling axis varies the part's *size*, not its cache design).
+    """
+    return xgene2_structures(num_cores=node.num_cores)
+
+
+def chip_sram_budget(node: TechNode) -> dict:
+    """Whole-chip SRAM area/energy/leakage budget at *node*.
+
+    A convenience roll-up for reports and benchmarks: total data
+    capacity of the node's structure inventory priced with its
+    :func:`cache_scaling` figures.
+    """
+    scaling = cache_scaling(node)
+    bits = total_capacity_bits(node_structures(node))
+    mbit = bits / _BITS_PER_MBIT
+    return {
+        "node": node.name,
+        "capacity_mbit": mbit,
+        "area_mm2": scaling.area_mm2_per_mbit * mbit,
+        "read_energy_pj_per_bit": scaling.read_energy_pj_per_bit,
+        "leakage_mw": scaling.leakage_mw_per_mbit * mbit,
+    }

@@ -360,6 +360,53 @@ def _measure_fig12(seed: int, time_scale: float) -> Tuple[dict, float]:
     return {"sdc_fit_920_without": split["920"]["without"]}, time_scale
 
 
+def _measure_tech(seed: int, time_scale: float) -> Tuple[dict, float]:
+    # Deterministic model probes -- no campaign flights: the node axis
+    # is pinned at the calibrated-model layer, the flown physics is
+    # covered by the statistical suite's node-FIT gates.
+    from ..sram.cross_section import CrossSectionModel
+    from ..tech import get_node, list_nodes
+
+    measured: Dict[str, Dict[str, object]] = {
+        "total_rate_nominal_per_min": {},
+        "outcome_rate_nominal_per_min": {},
+        "sigma_mult_5pct_undervolt": {},
+        "freq_at_nominal_mhz": {},
+        "scaled_vmin": {},
+        "nominal": {},
+    }
+    for name in list_nodes():
+        node = get_node(name)
+        rates = LevelRateModel.for_node(node)
+        mix = OutcomeMixModel.for_node(node)
+        xs = CrossSectionModel.for_node(node)
+        nominal_mv = float(node.pmd_nominal_mv)
+        measured["total_rate_nominal_per_min"][name] = (
+            rates.total_rate_per_min(
+                node.pmd_nominal_mv, node.soc_nominal_mv
+            )
+        )
+        measured["outcome_rate_nominal_per_min"][name] = sum(
+            mix.rates_per_min(
+                node.nominal_freq_mhz, node.pmd_nominal_mv
+            ).values()
+        )
+        measured["sigma_mult_5pct_undervolt"][name] = xs.sigma_cm2(
+            nominal_mv * 0.95
+        ) / xs.sigma_cm2(nominal_mv)
+        measured["freq_at_nominal_mhz"][name] = node.freq_mhz_at(nominal_mv)
+        measured["scaled_vmin"][name] = [
+            node.scale_pmd_mv(920),
+            node.scale_soc_mv(920),
+        ]
+        measured["nominal"][name] = [
+            node.nominal_freq_mhz,
+            node.pmd_nominal_mv,
+            node.soc_nominal_mv,
+        ]
+    return measured, 1.0
+
+
 def _measure_fig13(seed: int, time_scale: float) -> Tuple[dict, float]:
     campaign, analysis = _campaign_context(seed, time_scale)
     label = _session_labels(campaign, 900)[0]
@@ -387,6 +434,7 @@ MEASUREMENTS: Dict[str, Callable[[int, float], Tuple[dict, float]]] = {
     "fig11": _measure_fig11,
     "fig12": _measure_fig12,
     "fig13": _measure_fig13,
+    "tech": _measure_tech,
 }
 
 
@@ -474,7 +522,10 @@ def run_statistical(
     * session upset counts across rungs are Poisson-dispersed
       (chi-square, both tails);
     * the pooled SDC share at Vmin matches the calibrated
-      :class:`OutcomeMixModel` proportion (exact Clopper-Pearson).
+      :class:`OutcomeMixModel` proportion (exact Clopper-Pearson);
+    * per registered technology node, Garwood CIs on Poisson-drawn
+      nominal-rate counts cover each node's calibrated model rate
+      (pooled K-of-N over the same ladder -- no extra flights).
     """
     from ..experiments.config import shared_campaign
 
@@ -556,6 +607,47 @@ def run_statistical(
             expected_sdc,
             level=0.999,
             method="clopper-pearson",
+        )
+    )
+
+    # -- cross-node FIT coverage.  The flown campaigns above are all
+    # 28 nm; the node axis is gated at the model layer instead: per
+    # rung and per registered node, draw a Poisson upset count from the
+    # node's calibrated nominal rate over a fixed exposure, then require
+    # the Garwood CI on the drawn rate to cover the model expectation.
+    # Same CI machinery, same pooled K-of-N acceptance -- and no extra
+    # campaign flights.
+    from ..rng import RngStreams
+    from ..tech import get_node, list_nodes
+
+    node_names = list_nodes()
+    node_exposure_min = 600.0
+
+    def node_fit_trial(seed: int) -> Tuple[int, int]:
+        hits, total = 0, 0
+        streams = RngStreams(seed)
+        for name in node_names:
+            node = get_node(name)
+            node_rates = LevelRateModel.for_node(node)
+            expected = node_rates.total_rate_per_min(
+                node.pmd_nominal_mv, node.soc_nominal_mv
+            )
+            rng = streams.child("validate-node-fit", node=name)
+            count = int(rng.poisson(expected * node_exposure_min))
+            interval = poisson_rate_interval(count, node_exposure_min)
+            gate = interval_coverage_gate(
+                f"statistical/node_fit/{seed}/{name}", interval, expected
+            )
+            hits += int(gate.ok)
+            total += 1
+        return hits, total
+
+    node_checks = len(seeds) * len(node_names)
+    result.gates.append(
+        ladder.run_counting(
+            "statistical/node_fit_ci_coverage",
+            node_fit_trial,
+            required_hits=node_checks - max(1, node_checks // 10),
         )
     )
     if telemetry is not None:

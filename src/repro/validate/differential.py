@@ -92,6 +92,7 @@ PAIRINGS = (
     "broker",
     "lease_resume",
     "store_chaos",
+    "tech_anchor",
 )
 
 #: Maximum leaf diffs a report keeps per pairing (enough to localize a
@@ -229,6 +230,7 @@ class DifferentialRunner:
             "broker": self._pair_broker,
             "lease_resume": self._pair_lease_resume,
             "store_chaos": self._pair_store_chaos,
+            "tech_anchor": self._pair_tech_anchor,
         }
 
     def pairings(self) -> List[str]:
@@ -287,6 +289,33 @@ class DifferentialRunner:
         return self._byte_report(
             "executor", "serial", serial, "parallel(4)", parallel
         )
+
+    def _pair_tech_anchor(self) -> DiffReport:
+        # The 28 nm anchor node must be invisible: a campaign pinned to
+        # "xgene2-28" is the same physics as one with no node at all,
+        # down to the config hash (so journals, submission ids and
+        # checkpoints written before the node axis existed stay valid).
+        context = ExecutionContext(seed=self.seed, time_scale=self.time_scale)
+        plain = Campaign(context=context)
+        anchored = Campaign(context=context, tech_node="xgene2-28")
+        hash_a, hash_b = plain.config_hash(), anchored.config_hash()
+        report = self._byte_report(
+            "tech_anchor",
+            "no node",
+            plain.run(),
+            'tech_node="xgene2-28"',
+            anchored.run(),
+        )
+        report.gates.append(
+            GateResult(
+                gate="differential/tech_anchor/config_hash",
+                ok=hash_a == hash_b,
+                measured=f"{hash_a[:12]} vs {hash_b[:12]}",
+                expected="identical config hashes",
+                detail="anchor node must not move the campaign identity",
+            )
+        )
+        return report
 
     def _pair_telemetry(self) -> DiffReport:
         silent = self._fly()

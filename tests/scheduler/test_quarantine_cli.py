@@ -1,0 +1,94 @@
+"""The ``repro-campaign quarantine`` verb: list, --json, --requeue."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.scheduler import DirectoryStore
+
+TINY = [
+    "--codecs",
+    "parity",
+    "--points",
+    "980:950,790:950",
+    "--workloads",
+    "CG",
+    "--strikes",
+    "32",
+    "--seed",
+    "9",
+]
+
+
+@pytest.fixture()
+def swept_root(tmp_path):
+    """An explore outdir with two committed cells, one quarantined."""
+    outdir = str(tmp_path / "sweep")
+    assert main(["explore", outdir] + TINY) == 0
+    store = DirectoryStore(os.path.join(outdir, "scheduler"))
+    units = sorted(store.committed_units())
+    assert len(units) == 2
+    store.quarantine_commit(units[0], "checksum_mismatch", "bitrot drill")
+    return outdir, units[0]
+
+
+class TestList:
+    def test_lists_the_quarantined_unit(self, swept_root, capsys):
+        root, unit_id = swept_root
+        assert main(["quarantine", root]) == 0
+        out = capsys.readouterr().out
+        assert unit_id in out
+        assert "checksum_mismatch" in out
+        assert "bitrot drill" in out
+
+    def test_json_is_the_reason_records(self, swept_root, capsys):
+        root, unit_id = swept_root
+        assert main(["quarantine", root, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["unit_id"] for r in records] == [unit_id]
+        assert records[0]["reason"] == "checksum_mismatch"
+        assert records[0]["schema"] == 1
+
+    def test_empty_quarantine_reports_zero(self, tmp_path, capsys):
+        outdir = str(tmp_path / "clean")
+        assert main(["explore", outdir] + TINY) == 0
+        assert main(["quarantine", outdir]) == 0
+        assert "0 unit(s) quarantined" in capsys.readouterr().out
+
+    def test_missing_scheduler_state_fails_readably(self, tmp_path, capsys):
+        assert main(["quarantine", str(tmp_path / "nowhere")]) == 1
+        err = capsys.readouterr().err
+        assert "no scheduler state" in err
+
+
+class TestRequeue:
+    def test_requeue_clears_and_reports(self, swept_root, capsys):
+        root, unit_id = swept_root
+        assert main(["quarantine", root, "--requeue"]) == 0
+        out = capsys.readouterr().out
+        assert unit_id in out
+        store = DirectoryStore(os.path.join(root, "scheduler"))
+        assert store.quarantined_units() == []
+        quarantine_dir = os.path.join(root, "scheduler", "quarantine")
+        assert os.listdir(quarantine_dir) == []
+
+    def test_requeue_json_round_trip(self, swept_root, capsys):
+        root, unit_id = swept_root
+        assert main(["quarantine", root, "--requeue", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["unit_id"] for r in records] == [unit_id]
+        capsys.readouterr()
+        assert main(["quarantine", root, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_requeued_unit_reflies_on_resume(self, swept_root, capsys):
+        root, unit_id = swept_root
+        assert main(["quarantine", root, "--requeue"]) == 0
+        capsys.readouterr()
+        assert main(["explore", root, "--resume"] + TINY) == 0
+        out = capsys.readouterr().out
+        assert "recovered 1 committed cell(s)" in out
+        store = DirectoryStore(os.path.join(root, "scheduler"))
+        assert len(store.committed_units()) == 2

@@ -1,0 +1,65 @@
+"""No module outside repro.tech may hard-wire the process node.
+
+The 28 nm facts live in two places only: ``repro.constants`` (the
+paper's calibration, consumed as *defaults*) and ``repro.tech`` (the
+anchor node's registration).  Anything else referencing ``PROCESS_NM``
+-- or importing the nominal voltages to bake node-dependent behaviour
+-- would silently break every non-default node, so this test greps the
+source tree and fails on new references.
+"""
+
+import os
+import re
+
+import repro
+
+SRC_ROOT = os.path.dirname(repro.__file__)
+
+#: Modules allowed to name PROCESS_NM: the definition site and the
+#: tech package that owns node parameterization.
+ALLOWED = {
+    os.path.join(SRC_ROOT, "constants.py"),
+}
+
+
+def _python_sources():
+    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+        for filename in filenames:
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def test_process_nm_referenced_only_where_allowed():
+    offenders = []
+    for path in _python_sources():
+        if path in ALLOWED or os.sep + "tech" + os.sep in path:
+            continue
+        with open(path) as handle:
+            if re.search(r"\bPROCESS_NM\b", handle.read()):
+                offenders.append(os.path.relpath(path, SRC_ROOT))
+    assert not offenders, (
+        f"PROCESS_NM referenced outside repro.tech/constants: {offenders}; "
+        f"route node-dependent behaviour through repro.tech.get_node"
+    )
+
+
+def test_soc_layer_never_imports_repro_tech():
+    # Node awareness flows *down* as duck-typed node objects; the
+    # physics layers must not reach back up into the registry, or the
+    # default code path stops being import-independent of the axis.
+    offenders = []
+    for layer in ("soc", "sram", "injection"):
+        for dirpath, _dirnames, filenames in os.walk(
+            os.path.join(SRC_ROOT, layer)
+        ):
+            for filename in filenames:
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                with open(path) as handle:
+                    text = handle.read()
+                if re.search(r"from\s+\S*\btech\b|import\s+\S*\btech\b", text):
+                    offenders.append(os.path.relpath(path, SRC_ROOT))
+    assert not offenders, (
+        f"physics layers import repro.tech (cycle risk): {offenders}"
+    )

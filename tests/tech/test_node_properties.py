@@ -1,0 +1,105 @@
+"""Property-based invariants of the TechNode frequency/sigma models.
+
+Three families, each over every registered built-in node:
+
+* the alpha-power frequency law is strictly monotonic in voltage above
+  threshold and continuous across the sub/super-threshold pivot;
+* it anchors exactly at the node's nominal point;
+* the undervolt cross-section multiplier is ordered: lower voltage
+  never means a smaller sigma, and finer nodes are steeper.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TechError
+from repro.sram.cross_section import CrossSectionModel
+from repro.tech import get_node, list_nodes
+
+NODES = list_nodes()
+
+
+def voltages_for(node, lo=None):
+    lo = node.vth_mv + 1.0 if lo is None else lo
+    return st.floats(
+        min_value=float(lo),
+        max_value=float(node.pmd_nominal_mv),
+        allow_nan=False,
+        allow_infinity=False,
+    )
+
+
+@pytest.mark.parametrize("name", NODES)
+class TestFrequencyLaw:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_monotonic_above_threshold(self, name, data):
+        node = get_node(name)
+        v1 = data.draw(voltages_for(node), label="v1")
+        v2 = data.draw(voltages_for(node), label="v2")
+        lo, hi = sorted((v1, v2))
+        if hi - lo < 1e-6:
+            return
+        assert node.freq_mhz_at(lo) < node.freq_mhz_at(hi)
+
+    @settings(max_examples=20, deadline=None)
+    @given(eps=st.floats(min_value=1e-6, max_value=1e-2))
+    def test_continuous_at_pivot(self, name, eps):
+        node = get_node(name)
+        below = node.freq_mhz_at(node.pivot_mv - eps)
+        above = node.freq_mhz_at(node.pivot_mv + eps)
+        # The sub-threshold branch is constructed to meet the
+        # super-threshold branch at the pivot, so a vanishing straddle
+        # must show a vanishing frequency gap (no discontinuity).
+        assert below < above
+        assert above - below <= 1e-3 * node.nominal_freq_mhz
+
+    def test_anchored_at_nominal(self, name):
+        node = get_node(name)
+        assert node.freq_mhz_at(float(node.pmd_nominal_mv)) == pytest.approx(
+            node.nominal_freq_mhz, rel=1e-9
+        )
+
+    def test_rejects_at_or_below_threshold(self, name):
+        node = get_node(name)
+        with pytest.raises(TechError):
+            node.freq_mhz_at(float(node.vth_mv))
+
+
+@pytest.mark.parametrize("name", NODES)
+class TestSigmaOrdering:
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_sigma_never_shrinks_under_undervolt(self, name, data):
+        node = get_node(name)
+        model = CrossSectionModel.for_node(node)
+        v1 = data.draw(voltages_for(node, lo=node.floor_mv), label="v1")
+        v2 = data.draw(voltages_for(node, lo=node.floor_mv), label="v2")
+        lo, hi = sorted((v1, v2))
+        assert model.sigma_cm2(lo) >= model.sigma_cm2(hi)
+
+
+def test_finer_nodes_are_steeper():
+    # The paper's 28 nm undervolt sensitivity, scaled by slope_scale:
+    # at the same relative undervolt, a finer node's sigma multiplier
+    # is strictly larger (and a coarser node's strictly smaller).
+    def mult(name):
+        node = get_node(name)
+        model = CrossSectionModel.for_node(node)
+        nominal = float(node.pmd_nominal_mv)
+        return model.sigma_cm2(nominal * 0.95) / model.sigma_cm2(nominal)
+
+    ordered = [mult(n) for n in ("45nm", "xgene2-28", "16nm", "7nm")]
+    assert ordered == sorted(ordered)
+
+
+def test_scaled_points_stay_on_the_regulator_grid():
+    from repro.constants import VOLTAGE_STEP_MV
+
+    for name in NODES:
+        node = get_node(name)
+        for ref in (980, 930, 920, 790):
+            scaled = node.scale_pmd_mv(ref)
+            assert node.floor_mv <= scaled <= node.pmd_nominal_mv
+            assert (node.pmd_nominal_mv - scaled) % VOLTAGE_STEP_MV == 0

@@ -146,7 +146,7 @@ class TestRunSuites:
     def test_suite_names_stable(self):
         assert SUITES == ("conformance", "differential", "statistical")
         assert sorted(MEASUREMENTS) == sorted(
-            ["table1", "table2", "table3"]
+            ["table1", "table2", "table3", "tech"]
             + [f"fig{i}" for i in range(4, 14)]
         )
 
